@@ -1,0 +1,70 @@
+"""Bench: beyond-the-paper ablations from DESIGN.md §5.
+
+* Reward-cache hit rate / speedup.
+* Pearson vs mutual-information task representations.
+* E-Tree UCT exploration-constant sensitivity.
+"""
+
+from benchmarks.conftest import archive
+from repro.experiments.extras import (
+    exploration_constant_study,
+    prioritized_replay_study,
+    reward_cache_study,
+    task_representation_study,
+)
+from repro.experiments.reporting import render_table
+
+
+def test_reward_cache_speedup(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: reward_cache_study(scale=scale), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["hit rate", "seconds cached", "seconds uncached", "speedup"],
+        [[result.hit_rate, result.seconds_with_cache,
+          result.seconds_without_cache, result.speedup]],
+        title="Extra ablation: subset-level reward memoization",
+    )
+    archive("extra_cache", text)
+    assert result.hit_rate > 0.1  # rollouts revisit subsets constantly
+
+
+def test_task_representation_choice(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: task_representation_study(scale=scale), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["representation", "Avg F1"],
+        [["pearson (paper)", result.pearson_f1],
+         ["mutual information", result.mutual_information_f1]],
+        title="Extra ablation: task representation for zero-shot transfer",
+    )
+    archive("extra_representation", text)
+    assert 0.0 <= result.pearson_f1 <= 1.0
+
+
+def test_prioritized_replay_extension(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: prioritized_replay_study(scale=scale), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["replay", "Avg F1"],
+        [["uniform (paper)", result.uniform_f1],
+         ["prioritized", result.prioritized_f1]],
+        title="Extra ablation: replay sampling strategy",
+    )
+    archive("extra_prioritized_replay", text)
+    assert 0.0 <= result.prioritized_f1 <= 1.0
+
+
+def test_exploration_constant_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: exploration_constant_study(scale=scale), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["c_e", "Avg F1"],
+        [[c, f1] for c, f1 in zip(result.constants, result.avg_f1)],
+        title="Extra ablation: E-Tree UCT exploration constant (Eqn. 9)",
+    )
+    archive("extra_exploration_constant", text)
+    assert len(result.avg_f1) == len(result.constants)

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 5 — Avg F1 vs max feature ratio.
+
+PA-FEAT against the multi-task-enhanced baselines across the mfr sweep.
+Paper shape: PA-FEAT's curve rises then saturates and dominates the
+baselines at matching ratios.
+"""
+
+from benchmarks.conftest import archive, bench_datasets
+from repro.experiments import fig5
+from repro.experiments.reporting import winner_summary
+
+
+def _ratios(scale):
+    return (0.4, 0.8) if scale == "smoke" else (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _methods(scale):
+    if scale == "smoke":
+        return ("pa-feat", "go-explore", "grro-ls", "mdfs")
+    return fig5.DEFAULT_METHODS
+
+
+def test_fig5_avg_f1_vs_mfr(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: fig5.run(
+            datasets=bench_datasets(),
+            scale=scale,
+            methods=_methods(scale),
+            ratios=_ratios(scale),
+            metric="f1",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = fig5.render(results)
+    for sweep in results:
+        mid = len(sweep.ratios) // 2
+        text += "\n" + winner_summary(
+            {name: values[mid] for name, values in sweep.series.items()}
+        )
+    archive("fig5_f1", text)
+    assert all(0.0 <= v <= 1.0 for sweep in results for series in sweep.series.values() for v in series)

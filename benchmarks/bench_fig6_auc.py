@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 6 — Avg AUC vs max feature ratio.
+
+The Fig. 5 sweep scored with AUC; same expected shape.
+"""
+
+from benchmarks.conftest import archive, bench_datasets
+from repro.experiments import fig6
+from repro.experiments.fig5 import DEFAULT_METHODS
+from repro.experiments.reporting import winner_summary
+
+
+def _ratios(scale):
+    return (0.4, 0.8) if scale == "smoke" else (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _methods(scale):
+    if scale == "smoke":
+        return ("pa-feat", "rr", "ant-td", "k-best")
+    return DEFAULT_METHODS
+
+
+def test_fig6_avg_auc_vs_mfr(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: fig6.run(
+            datasets=bench_datasets(),
+            scale=scale,
+            methods=_methods(scale),
+            ratios=_ratios(scale),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = fig6.render(results)
+    for sweep in results:
+        mid = len(sweep.ratios) // 2
+        text += "\n" + winner_summary(
+            {name: values[mid] for name, values in sweep.series.items()}
+        )
+    archive("fig6_auc", text)
+    assert all(sweep.metric == "auc" for sweep in results)

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 7 — single-task baselines vs PA-FEAT.
+
+Water-quality and Yeast (the paper's shown datasets): Avg F1 plus per-task
+execution time.  Paper shape: SADRLFS/MARLFS pay orders of magnitude more
+latency for comparable quality; K-Best is in PA-FEAT's latency class with
+worse quality; RFE sits between.
+"""
+
+from benchmarks.conftest import archive, bench_scale
+from repro.experiments import fig7
+
+
+def _datasets():
+    return ("water-quality",) if bench_scale() == "smoke" else ("water-quality", "yeast")
+
+
+def test_fig7_single_task_comparison(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig7.run(datasets=_datasets(), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = fig7.render(rows)
+    archive("fig7_single_task", text)
+    for row in rows:
+        pa_feat_seconds = row.outcomes["pa-feat"][1]
+        # From-scratch RL at selection time is orders of magnitude slower.
+        assert row.outcomes["sadrlfs"][1] > 10 * pa_feat_seconds
+        assert row.outcomes["marlfs"][1] > 10 * pa_feat_seconds

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 8 — ITS benefit vs task difficulty.
+
+Per-seen-task late-training reward and distance ratio, with vs without the
+Inter-Task Scheduler.  Paper shape: the reward gain from ITS concentrates
+on the hard tasks.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import archive
+from repro.experiments import fig8
+
+
+def test_fig8_its_benefit_by_difficulty(benchmark, scale):
+    benefits = benchmark.pedantic(
+        lambda: fig8.run(dataset="water-quality", scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = fig8.render(benefits)
+    half = max(1, len(benefits) // 2)
+    hard_gain = float(np.mean([b.reward_gain for b in benefits[:half]]))
+    easy_gain = float(np.mean([b.reward_gain for b in benefits[half:]]))
+    text += (
+        f"\nmean reward gain — hard half: {hard_gain:+.4f}, "
+        f"easy half: {easy_gain:+.4f}"
+    )
+    archive("fig8_its", text)
+    assert benefits == sorted(benefits, key=lambda b: b.difficulty)

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 9 — further training on unseen tasks.
+
+Quality growth curve from the zero-shot point through on-task iterations.
+Paper shape: rise then saturation.
+"""
+
+from benchmarks.conftest import archive
+from repro.experiments import fig9
+
+
+def _params(scale):
+    if scale == "smoke":
+        return dict(further_iterations=20, checkpoint_every=10, max_tasks=2)
+    if scale == "mini":
+        return dict(further_iterations=100, checkpoint_every=20, max_tasks=3)
+    return dict(further_iterations=2000, checkpoint_every=100, max_tasks=None)
+
+
+def test_fig9_further_training_curve(benchmark, scale):
+    curve = benchmark.pedantic(
+        lambda: fig9.run(dataset="water-quality", scale=scale, **_params(scale)),
+        rounds=1,
+        iterations=1,
+    )
+    text = fig9.render(curve)
+    delta = curve.avg_f1[-1] - curve.avg_f1[0]
+    text += f"\nzero-shot -> final Avg F1 change: {delta:+.4f}"
+    archive("fig9_further_train", text)
+    assert curve.iterations[0] == 0
+    assert len(curve.iterations) >= 2

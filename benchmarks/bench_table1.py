@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I (dataset characteristics).
+
+Times the synthetic-twin generation and verifies each suite's shape against
+the published characteristics.
+"""
+
+from benchmarks.conftest import archive
+from repro.experiments import table1
+
+
+def test_table1_dataset_characteristics(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: table1.run(scale="mini", verify=True), rounds=1, iterations=1
+    )
+    archive("table1", table1.render(rows))
+    assert len(rows) == 8

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table II — iteration time and execution time.
+
+The four FEAT-based methods on each dataset.  Paper shape: execution time
+is nearly identical across methods (environment build + greedy inference);
+iteration time tracks dataset feature count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import archive, bench_datasets
+from repro.experiments import table2
+
+
+def test_table2_iteration_and_execution_time(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: table2.run(datasets=bench_datasets(), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = table2.render(rows)
+    archive("table2_timing", text)
+    for row in rows:
+        executions = [execution for _, execution in row.timings.values()]
+        # Execution times cluster: all FEAT-based methods answer the same way.
+        assert max(executions) < 100 * min(executions) + 1.0
+        for iteration, execution in row.timings.values():
+            assert execution < iteration * 50 + 1.0

@@ -1,0 +1,35 @@
+"""Bench: regenerate Table III — the ITS/ITE/PE ablation.
+
+Paper shape: complete PA-FEAT first; each removed component costs quality;
+w/o both is worst.
+"""
+
+from benchmarks.conftest import archive, bench_datasets
+from repro.experiments import table3
+from repro.experiments.reporting import winner_summary
+
+
+def _variants(scale):
+    if scale == "smoke":
+        return ("pa-feat", "pa-feat-no-both")
+    return table3.VARIANTS
+
+
+def test_table3_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: table3.run(
+            datasets=bench_datasets(), scale=scale, variants=_variants(scale)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = table3.render(rows)
+    for row in rows:
+        text += "\n" + winner_summary(
+            {variant: f1 for variant, (f1, _) in row.outcomes.items()}
+        )
+    archive("table3_ablation", text)
+    for row in rows:
+        for f1, auc in row.outcomes.values():
+            assert 0.0 <= f1 <= 1.0
+            assert 0.0 <= auc <= 1.0

@@ -1,0 +1,55 @@
+"""Benchmark harness configuration.
+
+Every module regenerates one paper artefact (table or figure), prints the
+paper-style rows and archives them under ``benchmarks/results/``.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``smoke``  (default) — seconds per artefact; shapes are indicative only.
+* ``mini``   — minutes per artefact; the shape claims in EXPERIMENTS.md are
+  validated at this scale.
+* ``full``   — paper-approaching scale (hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Resolve the benchmark scale from the environment."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if scale not in ("smoke", "mini", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke|mini|full, got {scale!r}")
+    return scale
+
+
+def bench_datasets() -> tuple[str, ...]:
+    """Datasets swept by the comparison benches at the current scale."""
+    if bench_scale() == "smoke":
+        return ("water-quality",)
+    if bench_scale() == "mini":
+        return ("water-quality", "yeast")
+    return (
+        "emotions", "water-quality", "yeast", "physionet2012",
+        "computers", "mediamill", "business", "entertainment",
+    )
+
+
+def archive(name: str, text: str) -> None:
+    """Print an artefact's rows and archive them to results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.{bench_scale()}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()

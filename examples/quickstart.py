@@ -1,0 +1,64 @@
+"""Quickstart: train PA-FEAT on seen tasks, select features for unseen ones.
+
+Runs on a scaled-down twin of the paper's Water-quality dataset in well
+under a minute::
+
+    python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    ClassifierConfig,
+    PAFeat,
+    PAFeatConfig,
+    evaluate_subset_with_svm,
+    load_mini_dataset,
+)
+
+
+def main() -> None:
+    # 1. Load a dataset: one shared feature space, several label columns.
+    #    Seen tasks are historical analytics; unseen tasks arrive later.
+    suite = load_mini_dataset("water-quality")
+    print(f"dataset: {suite.name} — {suite.table.n_rows} rows, "
+          f"{suite.n_features} features, {suite.n_seen} seen / "
+          f"{suite.n_unseen} unseen tasks")
+
+    # 2. Standard protocol: 70/30 row split (paper Section IV-A4).
+    train, test = suite.split_rows(0.7, np.random.default_rng(0))
+
+    # 3. Fit the multi-task agent on the seen tasks (Algorithm 1).
+    config = PAFeatConfig(
+        n_iterations=200,
+        classifier=ClassifierConfig(n_epochs=12),
+        seed=0,
+    )
+    start = time.perf_counter()
+    model = PAFeat(config).fit(train)
+    print(f"trained on {train.n_seen} seen tasks "
+          f"in {time.perf_counter() - start:.1f}s")
+
+    # 4. Fast feature selection for each unseen task: one greedy episode.
+    test_by_index = {task.label_index: task for task in test.unseen_tasks}
+    for task in train.unseen_tasks:
+        start = time.perf_counter()
+        subset = model.select(task)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+
+        # 5. Judge the subset the way the paper does: an SVM trained on the
+        #    projected features, scored on held-out rows.
+        test_task = test_by_index[task.label_index]
+        scores = evaluate_subset_with_svm(
+            subset, task.features, task.labels,
+            test_task.features, test_task.labels,
+        )
+        print(f"  {task.name}: {len(subset)}/{task.n_features} features "
+              f"in {latency_ms:.1f} ms — "
+              f"F1 {scores['f1']:.3f}, AUC {scores['auc']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without the `wheel` package.
+
+``pip install -e .`` requires `wheel` for PEP 660 builds; this offline
+environment lacks it, so `python setup.py develop` (driven by setup.cfg /
+pyproject metadata) provides the equivalent.
+"""
+
+from setuptools import setup
+
+setup()

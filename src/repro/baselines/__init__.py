@@ -1,0 +1,43 @@
+"""Baseline feature-selection methods from the paper's evaluation.
+
+Three families (Section IV-A2):
+
+* **multi-task enhanced** — PopArt, Go-Explore, Reward Randomization (all
+  implemented *under FEAT*, exactly as the paper does), plus the multi-label
+  methods GRRO-LS, Ant-TD and MDFS;
+* **single-task** — K-Best, RFE, SADRLFS, MARLFS (train from scratch per
+  unseen task);
+* **no feature selection** — DNN and SVM on all features.
+
+All selectors implement the :class:`repro.baselines.base.FeatureSelector`
+interface: ``prepare(train_suite)`` before unseen tasks arrive, then
+``select(task)`` when one does.
+"""
+
+from repro.baselines.base import FeatureSelector, feature_budget
+from repro.baselines.go_explore import GoExploreSelector
+from repro.baselines.kbest import KBestSelector
+from repro.baselines.marlfs import MARLFSSelector
+from repro.baselines.multilabel import AntTDSelector, GRROSelector, MDFSSelector
+from repro.baselines.no_fs import AllFeaturesSelector
+from repro.baselines.popart import PopArtAgent, PopArtSelector
+from repro.baselines.reward_randomization import RewardRandomizationSelector
+from repro.baselines.rfe import RFESelector
+from repro.baselines.sadrlfs import SADRLFSSelector
+
+__all__ = [
+    "AllFeaturesSelector",
+    "AntTDSelector",
+    "FeatureSelector",
+    "GRROSelector",
+    "GoExploreSelector",
+    "KBestSelector",
+    "MARLFSSelector",
+    "MDFSSelector",
+    "PopArtAgent",
+    "PopArtSelector",
+    "RFESelector",
+    "RewardRandomizationSelector",
+    "SADRLFSSelector",
+    "feature_budget",
+]

@@ -1,0 +1,51 @@
+"""Common interface for every selection method in the evaluation.
+
+The fast-feature-selection protocol has two phases: ``prepare`` runs before
+any unseen task arrives (the trainable methods do their multi-task learning
+here; single-task methods do nothing), and ``select`` answers an arriving
+unseen task.  The experiment harness times the two phases separately, which
+is exactly the split behind Table II and Fig. 7 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.data.tasks import Task, TaskSuite
+
+
+def feature_budget(n_features: int, max_feature_ratio: float) -> int:
+    """Largest selectable subset size under the ``mfr`` budget (≥ 1)."""
+    if n_features < 1:
+        raise ValueError(f"n_features must be >= 1, got {n_features}")
+    if not 0.0 < max_feature_ratio <= 1.0:
+        raise ValueError(
+            f"max_feature_ratio must be in (0, 1], got {max_feature_ratio}"
+        )
+    return max(1, int(math.floor(max_feature_ratio * n_features)))
+
+
+class FeatureSelector:
+    """Base class: ``prepare`` on seen tasks, ``select`` per unseen task."""
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "base"
+
+    def __init__(self, max_feature_ratio: float = 0.6):
+        if not 0.0 < max_feature_ratio <= 1.0:
+            raise ValueError(
+                f"max_feature_ratio must be in (0, 1], got {max_feature_ratio}"
+            )
+        self.max_feature_ratio = max_feature_ratio
+
+    def prepare(self, suite: TaskSuite) -> "FeatureSelector":
+        """Learn from seen tasks before unseen tasks arrive (default: no-op)."""
+        del suite
+        return self
+
+    def select(self, task: Task) -> tuple[int, ...]:
+        """Return the selected feature subset for one arriving task."""
+        raise NotImplementedError
+
+    def budget(self, n_features: int) -> int:
+        return feature_budget(n_features, self.max_feature_ratio)

@@ -1,0 +1,25 @@
+"""No-feature-selection baselines: use all features.
+
+The paper's "DNN" and "SVM" rows train a model on the raw feature vector.
+In the evaluation harness every method is reduced to the subset it selects
+(the downstream evaluator is fixed), so both rows collapse to the identity
+subset — kept as an explicit selector so the comparison tables can include
+them uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FeatureSelector
+from repro.data.tasks import Task
+
+
+class AllFeaturesSelector(FeatureSelector):
+    """Selects every feature (the no-feature-selection row)."""
+
+    name = "all-features"
+
+    def __init__(self) -> None:
+        super().__init__(max_feature_ratio=1.0)
+
+    def select(self, task: Task) -> tuple[int, ...]:
+        return tuple(range(task.n_features))

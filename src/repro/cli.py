@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — list the dataset catalog (Table I), or one dataset's details.
+* ``train`` — fit PA-FEAT on a dataset's seen tasks and save the model.
+* ``select`` — load a saved model and select features for unseen tasks.
+* ``experiment`` — run one paper artefact (table1, fig5, ..., fig9) and
+  print its rows.
+
+Examples::
+
+    python -m repro info
+    python -m repro train --dataset water-quality --output /tmp/model
+    python -m repro select --model /tmp/model --dataset water-quality
+    python -m repro experiment --artefact table2 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.pafeat import PAFeat
+from repro.data.catalog import DATASETS, dataset_names
+from repro.experiments.runner import load_suite, make_config
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PA-FEAT reproduction: fast feature selection via MT-DRL",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="describe the dataset catalog")
+    info.add_argument("--dataset", choices=dataset_names(), help="one dataset's details")
+
+    train = subparsers.add_parser("train", help="fit PA-FEAT and save the model")
+    train.add_argument("--dataset", required=True, choices=dataset_names())
+    train.add_argument("--output", required=True, help="directory for the model artifact")
+    train.add_argument("--scale", default="mini", choices=("smoke", "mini", "full"))
+    train.add_argument("--iterations", type=int, default=None, help="override iteration count")
+    train.add_argument("--mfr", type=float, default=0.6, help="max feature ratio")
+    train.add_argument("--seed", type=int, default=0)
+
+    select = subparsers.add_parser("select", help="select features with a saved model")
+    select.add_argument("--model", required=True, help="model directory from `train`")
+    select.add_argument("--dataset", required=True, choices=dataset_names())
+    select.add_argument("--scale", default="mini", choices=("smoke", "mini", "full"))
+    select.add_argument("--seed", type=int, default=0)
+    select.add_argument("--evaluate", action="store_true", help="score subsets with the SVM protocol")
+
+    experiment = subparsers.add_parser("experiment", help="run one paper artefact")
+    experiment.add_argument(
+        "--artefact",
+        required=True,
+        choices=("table1", "fig5", "fig6", "table2", "fig7", "table3", "fig8", "fig9"),
+    )
+    experiment.add_argument("--scale", default="smoke", choices=("smoke", "mini", "full"))
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    if args.dataset:
+        spec = DATASETS[args.dataset]
+        print(f"{spec.name}: {spec.n_instances} instances x {spec.n_features} features")
+        print(f"  seen tasks:   {spec.n_seen}")
+        print(f"  unseen tasks: {spec.n_unseen}")
+        print(f"  generator: {spec.task_informative} informative features/task, "
+              f"{spec.n_concepts} concept pools, seed {spec.seed}")
+        return 0
+    print(table1.render(table1.run(scale="mini", verify=False)))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.io import save_model
+
+    suite = load_suite(args.dataset, args.scale)
+    train, _ = suite.split_rows(0.7, np.random.default_rng(args.seed))
+    config = make_config(args.scale, mfr=args.mfr, seed=args.seed)
+    if args.iterations is not None:
+        config = replace(config, n_iterations=args.iterations)
+    print(f"training on {train.n_seen} seen tasks of {suite.name} "
+          f"({config.n_iterations} iterations)...")
+    start = time.perf_counter()
+    model = PAFeat(config).fit(train)
+    print(f"trained in {time.perf_counter() - start:.1f}s")
+    directory = save_model(model, args.output)
+    print(f"model saved to {directory}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.io import load_model
+
+    model = load_model(args.model)
+    suite = load_suite(args.dataset, args.scale)
+    train, test = suite.split_rows(0.7, np.random.default_rng(args.seed))
+    test_by_index = {task.label_index: task for task in test.unseen_tasks}
+    for task in train.unseen_tasks:
+        start = time.perf_counter()
+        subset = model.select(task)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        line = f"{task.name}: {len(subset)} features {subset} [{latency_ms:.1f} ms]"
+        if args.evaluate:
+            from repro.eval.svm import evaluate_subset_with_svm
+
+            test_task = test_by_index[task.label_index]
+            scores = evaluate_subset_with_svm(
+                subset, task.features, task.labels,
+                test_task.features, test_task.labels,
+            )
+            line += f" F1={scores['f1']:.3f} AUC={scores['auc']:.3f}"
+        print(line)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.artefact}")
+    if args.artefact == "table1":
+        print(module.render(module.run(scale=args.scale, verify=True)))
+    elif args.artefact in ("fig8", "fig9"):
+        print(module.render(module.run(scale=args.scale)))
+    else:
+        print(module.render(module.run(datasets=("water-quality",), scale=args.scale)))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "train": _cmd_train,
+    "select": _cmd_select,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

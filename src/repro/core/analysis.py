@@ -1,0 +1,154 @@
+"""Diagnostics for trained PA-FEAT models.
+
+Tools a practitioner reaches for once a selector is trained:
+
+* :func:`explain_selection` — replay the greedy episode for a task and
+  report, per scanned feature, the state the agent saw (correlation,
+  percentile, redundancy, remaining budget) and the Q-gap behind its
+  decision.
+* :func:`policy_feature_scores` — a per-feature "importance" vector from
+  the policy's point of view: the advantage of selecting each feature when
+  it comes under the cursor.
+* :func:`q_gap_statistics` — distribution of |Q(select) − Q(deselect)|
+  along the greedy path; near-zero gaps flag undertrained or indifferent
+  decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.env import FeatureSelectionEnv
+from repro.core.pafeat import PAFeat
+from repro.data.stats import pearson_representation
+from repro.data.tasks import Task
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One step of a greedy selection episode, annotated."""
+
+    position: int
+    feature_name: str
+    correlation: float
+    percentile: float
+    redundancy: float
+    q_deselect: float
+    q_select: float
+    selected: bool
+
+    @property
+    def q_gap(self) -> float:
+        """Q(select) − Q(deselect); positive means the agent wanted it."""
+        return self.q_select - self.q_deselect
+
+
+def _inference_env(model: PAFeat, task: Task) -> FeatureSelectionEnv:
+    representation = pearson_representation(task.features, task.labels)
+    return FeatureSelectionEnv(
+        task.label_index,
+        representation,
+        None,
+        model.config.env,
+        feature_corr=model._feature_corr,
+    )
+
+
+def explain_selection(model: PAFeat, task: Task) -> list[Decision]:
+    """Replay the greedy episode for ``task`` with per-step annotations."""
+    agent = model.inference_agent()
+    env = _inference_env(model, task)
+    representation = env.task_representation
+    state = env.reset()
+    decisions: list[Decision] = []
+    while not env.done:
+        position = env.position
+        q_values = agent.q_values(state)[0]
+        action = int(np.argmax(q_values))
+        redundancy = 0.0
+        if env.feature_corr is not None and env.selected:
+            redundancy = float(
+                np.max(env.feature_corr[position, np.asarray(env.selected)])
+            )
+        decisions.append(
+            Decision(
+                position=position,
+                feature_name=task.table.feature_names[position],
+                correlation=float(representation[position]),
+                percentile=float(np.mean(representation <= representation[position])),
+                redundancy=redundancy,
+                q_deselect=float(q_values[0]),
+                q_select=float(q_values[1]),
+                selected=action == 1,
+            )
+        )
+        state, _, _, _ = env.step(action)
+    return decisions
+
+
+def policy_feature_scores(model: PAFeat, task: Task) -> np.ndarray:
+    """Per-feature Q-gap along the greedy path (the policy's importances).
+
+    Features past the episode's end (budget truncation) get ``nan``: the
+    policy never judged them.
+    """
+    decisions = explain_selection(model, task)
+    scores = np.full(task.n_features, np.nan)
+    for decision in decisions:
+        scores[decision.position] = decision.q_gap
+    return scores
+
+
+@dataclass(frozen=True)
+class QGapStatistics:
+    """Summary of decision confidence along a greedy episode."""
+
+    mean_abs_gap: float
+    min_abs_gap: float
+    max_abs_gap: float
+    n_decisions: int
+    n_selected: int
+
+
+def q_gap_statistics(model: PAFeat, task: Task) -> QGapStatistics:
+    """Aggregate the |Q-gap| distribution of one greedy episode."""
+    decisions = explain_selection(model, task)
+    if not decisions:
+        raise ValueError("episode produced no decisions")
+    gaps = np.array([abs(d.q_gap) for d in decisions])
+    return QGapStatistics(
+        mean_abs_gap=float(gaps.mean()),
+        min_abs_gap=float(gaps.min()),
+        max_abs_gap=float(gaps.max()),
+        n_decisions=len(decisions),
+        n_selected=sum(d.selected for d in decisions),
+    )
+
+
+def render_explanation(decisions: list[Decision], max_rows: int = 20) -> str:
+    """Human-readable table of a selection episode."""
+    from repro.experiments.reporting import render_table
+
+    rows = [
+        [
+            d.position,
+            d.feature_name,
+            d.correlation,
+            d.percentile,
+            d.redundancy,
+            d.q_gap,
+            "select" if d.selected else "skip",
+        ]
+        for d in decisions[:max_rows]
+    ]
+    table = render_table(
+        ["pos", "feature", "|corr|", "pct", "redund", "q-gap", "action"],
+        rows,
+        title="greedy selection episode",
+        precision=3,
+    )
+    if len(decisions) > max_rows:
+        table += f"\n... {len(decisions) - max_rows} more steps"
+    return table

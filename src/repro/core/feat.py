@@ -1,0 +1,281 @@
+"""FEAT — the multi-task DRL framework (paper Algorithm 1).
+
+One global Dueling-DQN agent interacts with per-seen-task environments:
+
+1. *Buffer Filling Phase*: N rollout resources each pick a seen task (the
+   ``task_sampler`` hook — uniform by default, ITS when enabled), obtain an
+   initial state (the ``initial_state_provider`` hook — default start, or
+   an ITE-customised state), roll an episode under epsilon-greedy and store
+   the trajectory in the task's replay buffer.
+2. *Parameter Updating Phase*: K rounds of minibatch Dueling-DQN updates,
+   one batch per seen task per round.
+
+Baselines from the paper that are "implemented under FEAT" plug into the
+same hooks: PopArt swaps the agent, Go-Explore swaps the state provider and
+uses a random restart policy, RR wraps the per-step reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.config import PAFeatConfig
+from repro.core.env import FeatureSelectionEnv
+from repro.core.state import EnvState
+from repro.rl.agent import DuelingDQNAgent
+from repro.rl.replay import ReplayRegistry
+from repro.rl.transition import Trajectory, Transition
+
+# Hook signatures.
+TaskSampler = Callable[[ReplayRegistry, np.random.Generator], int]
+InitialStateProvider = Callable[[int], EnvState]
+RewardTransform = Callable[[int, float], float]
+
+
+class UniformTaskSampler:
+    """Algorithm 1 line 5 default: choose a seen task uniformly."""
+
+    def __init__(self, task_ids: list[int]):
+        if not task_ids:
+            raise ValueError("need at least one task id")
+        self.task_ids = list(task_ids)
+
+    def __call__(self, registry: ReplayRegistry, rng: np.random.Generator) -> int:
+        del registry  # uniform sampling ignores progress
+        return self.task_ids[int(rng.integers(len(self.task_ids)))]
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration training telemetry."""
+
+    iteration: int
+    episodes: int
+    mean_loss: float
+    rewards_per_task: dict[int, float] = field(default_factory=dict)
+    task_probabilities: dict[int, float] = field(default_factory=dict)
+
+
+class FEATTrainer:
+    """Drives Algorithm 1 over a set of per-task environments."""
+
+    def __init__(
+        self,
+        envs: Mapping[int, FeatureSelectionEnv],
+        agent: DuelingDQNAgent,
+        config: PAFeatConfig,
+        rng: np.random.Generator,
+        task_sampler: TaskSampler | None = None,
+        initial_state_provider: InitialStateProvider | None = None,
+        episode_end_hook: Callable[[int, Trajectory, EnvState], None] | None = None,
+        reward_transform: RewardTransform | None = None,
+        restart_policy: str = "learned",
+        checkpoint_scorer: Callable[[dict[int, tuple[int, ...]]], float] | None = None,
+    ):
+        if not envs:
+            raise ValueError("FEATTrainer needs at least one environment")
+        if restart_policy not in ("learned", "random"):
+            raise ValueError(
+                f"restart_policy must be 'learned' or 'random', got {restart_policy!r}"
+            )
+        self.envs = dict(envs)
+        self.agent = agent
+        self.config = config
+        self._rng = rng
+        buffer_factory = None
+        if config.agent.prioritized_replay:
+            from repro.rl.prioritized import PrioritizedReplayBuffer
+
+            buffer_factory = lambda capacity, window: PrioritizedReplayBuffer(
+                capacity, trajectory_window=window
+            )
+        self.registry = ReplayRegistry(
+            config.agent.replay_capacity,
+            trajectory_window=config.its.trajectory_window,
+            buffer_factory=buffer_factory,
+        )
+        self.task_sampler = task_sampler or UniformTaskSampler(sorted(self.envs))
+        self.initial_state_provider = initial_state_provider
+        self.episode_end_hook = episode_end_hook
+        self.reward_transform = reward_transform
+        self.restart_policy = restart_policy
+        self.checkpoint_scorer = checkpoint_scorer
+        self.history: list[IterationStats] = []
+
+    # ------------------------------------------------------------------
+    # Rollouts
+    # ------------------------------------------------------------------
+    def run_episode(
+        self,
+        task_id: int,
+        start: EnvState | None = None,
+        greedy: bool = False,
+        random_policy: bool = False,
+    ) -> Trajectory:
+        """Roll one episode on ``task_id`` from ``start`` (default: reset).
+
+        ``greedy`` disables exploration (used at inference); ``random_policy``
+        picks uniform actions (used by the Go-Explore baseline and the
+        w/o-PE ablation when restarting from customised states).
+        """
+        env = self.envs[task_id]
+        state = env.reset() if start is None else env.reset_to(start)
+        trajectory = Trajectory(task_id=task_id)
+        final_score = env.reward_fn(env.selected) if env.selected else 0.0
+        steps: list[tuple[np.ndarray, int, float, np.ndarray, bool]] = []
+        while not env.done:
+            if random_policy:
+                action = int(self._rng.integers(env.N_ACTIONS))
+            else:
+                action = self.agent.act(state, greedy=greedy)
+            next_state, reward, done, info = env.step(action)
+            if self.reward_transform is not None:
+                reward = self.reward_transform(task_id, reward)
+            steps.append((state, action, reward, next_state, done))
+            state = next_state
+            final_score = info["score"]
+        # Compute the discounted return-to-go R̂ for each step (Algorithm 1
+        # lines 16-18 store it in the buffer alongside the transition).
+        gamma = self.config.agent.gamma
+        running_return = 0.0
+        returns: list[float] = [0.0] * len(steps)
+        for index in range(len(steps) - 1, -1, -1):
+            running_return = steps[index][2] + gamma * running_return
+            returns[index] = running_return
+        for (step_state, action, reward, next_state, done), ret in zip(steps, returns):
+            trajectory.append(
+                Transition(
+                    state=step_state,
+                    action=action,
+                    reward=reward,
+                    next_state=next_state,
+                    done=done,
+                    return_to_go=ret,
+                )
+            )
+        trajectory.selected_features = env.selected
+        trajectory.final_reward = float(final_score)
+        return trajectory
+
+    def collect_episodes(self, n_episodes: int) -> dict[int, list[Trajectory]]:
+        """Buffer Filling Phase: N resources → N episodes into buffers."""
+        collected: dict[int, list[Trajectory]] = {}
+        for _ in range(n_episodes):
+            task_id = self.task_sampler(self.registry, self._rng)
+            start = (
+                self.initial_state_provider(task_id)
+                if self.initial_state_provider is not None
+                else EnvState(selected=(), position=0)
+            )
+            customised = start.position > 0 or bool(start.selected)
+            random_policy = self.restart_policy == "random" and customised
+            trajectory = self.run_episode(
+                task_id, start=start, random_policy=random_policy
+            )
+            self.registry.buffer(task_id).add_trajectory(trajectory)
+            if self.episode_end_hook is not None:
+                self.episode_end_hook(task_id, trajectory, start)
+            collected.setdefault(task_id, []).append(trajectory)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_iteration(self, iteration: int) -> IterationStats:
+        """One outer iteration: fill buffers, then K update rounds."""
+        collected = self.collect_episodes(self.config.episodes_per_iteration)
+        losses: list[float] = []
+        for _ in range(self.config.updates_per_iteration):
+            for task_id in self.registry.non_empty_task_ids():
+                buffer = self.registry.buffer(task_id)
+                batch = buffer.sample(self.config.agent.batch_size, self._rng)
+                losses.append(self.agent.update(batch, task_id=task_id))
+                if hasattr(buffer, "update_priorities"):
+                    buffer.update_priorities(self.agent.td_errors(batch))
+        stats = IterationStats(
+            iteration=iteration,
+            episodes=sum(len(v) for v in collected.values()),
+            mean_loss=float(np.mean(losses)) if losses else 0.0,
+            rewards_per_task={
+                task_id: float(np.mean([t.final_reward for t in trajectories]))
+                for task_id, trajectories in collected.items()
+            },
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(self, n_iterations: int | None = None) -> list[IterationStats]:
+        """Run the full Algorithm 1 loop with best-policy checkpointing.
+
+        Every ``checkpoint_every`` iterations the greedy policy is scored on
+        all seen tasks (cheap: rewards are cached); the best-scoring network
+        snapshot is restored at the end.  DQN on small reward gaps can drift
+        late in training — keeping the best seen-task policy removes that
+        failure mode without touching the learning dynamics.
+        """
+        total = n_iterations if n_iterations is not None else self.config.n_iterations
+        if total < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {total}")
+        start = len(self.history)
+        checkpoint_every = max(1, self.config.checkpoint_every)
+        best_score = -np.inf
+        best_snapshot = None
+        stats_list = []
+        for i in range(total):
+            stats_list.append(self.train_iteration(start + i))
+            if (i + 1) % checkpoint_every == 0 or i == total - 1:
+                score = self._checkpoint_score()
+                if score > best_score:
+                    best_score = score
+                    best_snapshot = self.agent.save_policy()
+        if best_snapshot is not None:
+            self.agent.load_policy(best_snapshot)
+        return stats_list
+
+    def _checkpoint_score(self) -> float:
+        """Score the current greedy policy for best-snapshot selection."""
+        subsets = {
+            task_id: self.infer_subset(env) for task_id, env in self.envs.items()
+        }
+        if self.checkpoint_scorer is not None:
+            return self.checkpoint_scorer(subsets)
+        return self.greedy_seen_score(subsets)
+
+    def greedy_seen_score(
+        self, subsets: dict[int, tuple[int, ...]] | None = None
+    ) -> float:
+        """Mean shaped score of the greedy policy across all seen tasks."""
+        if subsets is None:
+            subsets = {
+                task_id: self.infer_subset(env) for task_id, env in self.envs.items()
+            }
+        scores = []
+        for task_id, env in self.envs.items():
+            subset = subsets[task_id]
+            raw = env.reward_fn(subset) if subset else 0.0
+            penalty = env.config.size_penalty * len(subset) / env.n_features
+            scores.append(raw - penalty)
+        return float(np.mean(scores)) if scores else 0.0
+
+    # ------------------------------------------------------------------
+    # Inference (Algorithm 1 lines 22-24)
+    # ------------------------------------------------------------------
+    def infer_subset(self, env: FeatureSelectionEnv) -> tuple[int, ...]:
+        """One greedy episode on an (unseen-task) environment → subset."""
+        return greedy_subset(self.agent, env)
+
+
+def greedy_subset(agent: DuelingDQNAgent, env: FeatureSelectionEnv) -> tuple[int, ...]:
+    """Run one greedy episode of ``agent`` on ``env`` and return the subset.
+
+    This is the whole of unseen-task inference (Algorithm 1 lines 22-24);
+    it is a free function so persisted agents can select without a trainer.
+    """
+    state = env.reset()
+    while not env.done:
+        action = agent.act(state, greedy=True)
+        state, _, _, _ = env.step(action)
+    return env.selected

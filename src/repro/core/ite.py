@@ -1,0 +1,70 @@
+"""Intra-Task Explorer (paper Section III-D).
+
+Maintains one :class:`~repro.core.etree.ETree` per seen task.  When invoked
+at the start of an episode it returns a *customised initial state*: the
+most exploration-worthy visited state per the UCT rule (Eqn. 9).  The agent
+then explores onward from that state using its current learned policy —
+the "policy exploitation" (PE) that distinguishes PA-FEAT from Go-Explore,
+which restarts with a *random* policy.  The ``use_policy_exploitation``
+switch exists precisely for that ablation (Table III, "ours w/o PE").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ITEConfig
+from repro.core.etree import ETree
+from repro.core.state import EnvState
+from repro.rl.transition import Trajectory
+
+
+class IntraTaskExplorer:
+    """Per-task E-Trees plus the initial-state customisation strategy."""
+
+    def __init__(self, n_features: int, config: ITEConfig, rng: np.random.Generator):
+        self.n_features = n_features
+        self.config = config
+        self._rng = rng
+        self._trees: dict[int, ETree] = {}
+        self.invocations = 0
+        self.customised_starts = 0
+
+    def tree(self, task_id: int) -> ETree:
+        """The E-Tree for a seen task, created lazily."""
+        if task_id not in self._trees:
+            self._trees[task_id] = ETree(
+                self.n_features,
+                exploration_constant=self.config.exploration_constant,
+                size_penalty=self.config.size_penalty,
+                max_nodes=self.config.max_tree_nodes,
+            )
+        return self._trees[task_id]
+
+    def initial_state(self, task_id: int) -> EnvState:
+        """Customised initial state for the next episode on ``task_id``.
+
+        With probability ``invoke_probability`` (and once the tree has
+        grown beyond the root) returns the UCT-selected valuable state;
+        otherwise returns the default initial state, preserving coverage of
+        shallow prefixes.
+        """
+        self.invocations += 1
+        tree = self.tree(task_id)
+        use_tree = (
+            tree.n_nodes > 1
+            and self._rng.random() < self.config.invoke_probability
+        )
+        if not use_tree:
+            return EnvState(selected=(), position=0)
+        self.customised_starts += 1
+        return tree.select_state(self._rng)
+
+    def record(self, task_id: int, trajectory: Trajectory, start: EnvState) -> None:
+        """Fold a finished episode back into the task's E-Tree."""
+        self.tree(task_id).add_trajectory(trajectory, start=start)
+
+    @property
+    def exploration_policy_is_learned(self) -> bool:
+        """True when episodes from customised states follow the learned policy."""
+        return self.config.use_policy_exploitation

@@ -1,0 +1,139 @@
+"""Inter-Task Scheduler (paper Section III-C).
+
+Two progress probes per seen task, computed from the recent trajectories in
+its replay buffer:
+
+* **Distance ratio** ζ (Eqn. 6): relative gap between the all-features
+  classifier score ``P_all`` and the mean score of recent selected subsets.
+  Large ζ → the policy is still far from the full-feature baseline → more
+  potential for improvement.
+* **Performance uncertainty** ξ (Eqn. 7): ``1 - mean_i |1/2 - p(i)|`` where
+  ``p(i)`` is the fraction of recent subsets containing feature *i*.  When
+  selection frequencies hover near 1/2 the policy is undecided → high ξ.
+
+The output module (Eqn. 8) normalises each score across tasks, sums them
+and softmaxes the result into sampling probabilities for the rollout
+resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ITSConfig
+from repro.rl.replay import ReplayRegistry
+from repro.rl.transition import Trajectory
+
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """Progress snapshot for one seen task at scheduling time."""
+
+    task_id: int
+    distance_ratio: float
+    uncertainty: float
+    n_trajectories: int
+
+
+def distance_ratio(trajectories: list[Trajectory], all_features_score: float) -> float:
+    """Eqn. 6: ``(P_all - P_avg) / P_all`` over the recent subsets.
+
+    Trajectory ``final_reward`` is exactly ``P(F_i)`` — the pretrained
+    classifier's score of the episode's final subset — so no re-evaluation
+    is needed.  Clamped at 0: a policy already beating the all-features
+    baseline has no remaining "distance".
+    """
+    if not trajectories:
+        return 1.0
+    if all_features_score <= 0.0:
+        return 0.0
+    average = float(np.mean([t.final_reward for t in trajectories]))
+    return max(0.0, (all_features_score - average) / all_features_score)
+
+
+def performance_uncertainty(trajectories: list[Trajectory], n_features: int) -> float:
+    """Eqn. 7: instability of per-feature selection frequencies.
+
+    Returns a value in [1/2, 1]: 1/2 when every feature is always or never
+    selected (fully stable), 1 when every feature is selected exactly half
+    the time (maximally unstable).
+    """
+    if n_features < 1:
+        raise ValueError(f"n_features must be >= 1, got {n_features}")
+    if not trajectories:
+        return 1.0
+    counts = np.zeros(n_features)
+    for trajectory in trajectories:
+        for feature in trajectory.selected_features:
+            counts[feature] += 1.0
+    frequencies = counts / len(trajectories)
+    return float(1.0 - np.mean(np.abs(0.5 - frequencies)))
+
+
+class InterTaskScheduler:
+    """Allocates rollout probability mass across seen tasks (Eqn. 8)."""
+
+    def __init__(
+        self,
+        task_ids: list[int],
+        all_features_scores: dict[int, float],
+        n_features: int,
+        config: ITSConfig,
+    ):
+        if not task_ids:
+            raise ValueError("scheduler needs at least one task")
+        missing = [t for t in task_ids if t not in all_features_scores]
+        if missing:
+            raise ValueError(f"missing all-features baselines for tasks {missing}")
+        self.task_ids = list(task_ids)
+        self.all_features_scores = dict(all_features_scores)
+        self.n_features = n_features
+        self.config = config
+        self.last_progress: list[TaskProgress] = []
+
+    def collect_progress(self, registry: ReplayRegistry) -> list[TaskProgress]:
+        """Information Collecting Phase (Eqn. 4) for every seen task."""
+        progress = []
+        for task_id in self.task_ids:
+            trajectories = registry.buffer(task_id).recent_trajectories(
+                self.config.trajectory_window
+            )
+            progress.append(
+                TaskProgress(
+                    task_id=task_id,
+                    distance_ratio=distance_ratio(
+                        trajectories, self.all_features_scores[task_id]
+                    ),
+                    uncertainty=performance_uncertainty(trajectories, self.n_features),
+                    n_trajectories=len(trajectories),
+                )
+            )
+        self.last_progress = progress
+        return progress
+
+    def probabilities(self, registry: ReplayRegistry) -> np.ndarray:
+        """Probability Determination Phase (Eqn. 8): softmax of blended scores.
+
+        Until every task has ``min_trajectories`` recorded episodes the
+        allocation stays uniform — the probes are too noisy to act on.
+        """
+        progress = self.collect_progress(registry)
+        n = len(progress)
+        if any(p.n_trajectories < self.config.min_trajectories for p in progress):
+            return np.full(n, 1.0 / n)
+        zeta = np.array([p.distance_ratio for p in progress])
+        xi = np.array([p.uncertainty for p in progress])
+        zeta_norm = zeta / zeta.sum() if zeta.sum() > 0 else np.full(n, 1.0 / n)
+        xi_norm = xi / xi.sum() if xi.sum() > 0 else np.full(n, 1.0 / n)
+        blended = (zeta_norm + xi_norm) / self.config.temperature
+        shifted = blended - blended.max()
+        weights = np.exp(shifted)
+        return weights / weights.sum()
+
+    def sample_task(self, registry: ReplayRegistry, rng: np.random.Generator) -> int:
+        """Draw one seen task according to the current allocation."""
+        probabilities = self.probabilities(registry)
+        index = rng.choice(len(self.task_ids), p=probabilities)
+        return self.task_ids[int(index)]

@@ -1,0 +1,358 @@
+"""PA-FEAT facade: the library's main entry point.
+
+Wires together the pretrained reward classifiers, per-task environments,
+the Dueling-DQN agent, the Inter-Task Scheduler and the Intra-Task Explorer
+into the three-phase lifecycle of the paper:
+
+* :meth:`PAFeat.fit` — generalise feature-selection knowledge across the
+  seen tasks of a :class:`~repro.data.tasks.TaskSuite` (Algorithm 1).
+* :meth:`PAFeat.select` — *fast* feature selection for an unseen task: one
+  greedy episode, no training (Algorithm 1 lines 22-24).
+* :meth:`PAFeat.further_train` — optional extra on-task training when the
+  time budget allows (paper Section IV-D).
+
+Ablation switches (``use_its``, ``use_ite``,
+``ite.use_policy_exploitation``) reproduce the Table III variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PAFeatConfig
+from repro.core.env import FeatureSelectionEnv
+from repro.core.feat import FEATTrainer, UniformTaskSampler
+from repro.core.ite import IntraTaskExplorer
+from repro.core.its import InterTaskScheduler
+from repro.data.stats import feature_redundancy_matrix, pearson_representation
+from repro.data.tasks import Task, TaskSuite
+from repro.eval.classifier import MaskedMLPClassifier
+from repro.eval.reward import RewardFunction, build_task_reward
+
+
+@dataclass
+class FurtherTrainRecord:
+    """One checkpoint of the further-training curve (paper Fig. 9)."""
+
+    iteration: int
+    subset: tuple[int, ...]
+    score: float
+
+
+class PAFeat:
+    """Progress-aware multi-task DRL feature selector."""
+
+    def __init__(self, config: PAFeatConfig | None = None):
+        self.config = config or PAFeatConfig()
+        self._seed_sequence = np.random.SeedSequence(self.config.seed)
+        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        self.trainer: FEATTrainer | None = None
+        self.explorer: IntraTaskExplorer | None = None
+        self.scheduler: InterTaskScheduler | None = None
+        self.reward_fns: dict[int, RewardFunction] = {}
+        self.classifiers: dict[int, MaskedMLPClassifier] = {}
+        self._suite: TaskSuite | None = None
+        self._n_features: int | None = None
+        self._feature_corr: "np.ndarray | None" = None
+        self._loaded_agent = None  # populated by repro.io.load_model
+
+    # ------------------------------------------------------------------
+    # Training on seen tasks
+    # ------------------------------------------------------------------
+    def fit(self, suite: TaskSuite, n_iterations: int | None = None) -> "PAFeat":
+        """Generalise knowledge from the suite's seen tasks (Algorithm 1)."""
+        if not suite.seen_tasks:
+            raise ValueError("suite has no seen tasks to learn from")
+        self._suite = suite
+        self._n_features = suite.n_features
+        # All tasks share one feature space, so the feature-feature |Pearson|
+        # matrix (the redundancy signal in the state encoding) is computed once.
+        self._feature_corr = feature_redundancy_matrix(suite.table.features)
+        config = self.config
+
+        envs: dict[int, FeatureSelectionEnv] = {}
+        all_features_scores: dict[int, float] = {}
+        for task in suite.seen_tasks:
+            reward_fn = self._build_reward(task)
+            self.reward_fns[task.label_index] = reward_fn
+            representation = pearson_representation(task.features, task.labels)
+            envs[task.label_index] = FeatureSelectionEnv(
+                task.label_index, representation, reward_fn, config.env,
+                feature_corr=self._feature_corr,
+            )
+            all_features_scores[task.label_index] = reward_fn.all_features_score
+
+        agent = self._build_agent(suite.n_features)
+        task_ids = sorted(envs)
+
+        task_sampler = UniformTaskSampler(task_ids)
+        if config.use_its:
+            self.scheduler = InterTaskScheduler(
+                task_ids, all_features_scores, suite.n_features, config.its
+            )
+            task_sampler = self.scheduler.sample_task
+
+        initial_state_provider = None
+        episode_end_hook = None
+        restart_policy = "learned"
+        if config.use_ite:
+            self.explorer = IntraTaskExplorer(
+                suite.n_features,
+                config.ite,
+                np.random.default_rng(self._seed_sequence.spawn(1)[0]),
+            )
+            initial_state_provider = self.explorer.initial_state
+            episode_end_hook = self.explorer.record
+            if not config.ite.use_policy_exploitation:
+                restart_policy = "random"
+
+        trainer_kwargs = {
+            "task_sampler": task_sampler,
+            "initial_state_provider": initial_state_provider,
+            "episode_end_hook": episode_end_hook,
+            "restart_policy": restart_policy,
+            "checkpoint_scorer": self._build_checkpoint_scorer(suite),
+        }
+        # Subclasses (the FEAT-based baselines) can override any hook.
+        trainer_kwargs.update(self._extra_trainer_kwargs())
+        self.trainer = FEATTrainer(
+            envs,
+            agent,
+            config,
+            np.random.default_rng(self._seed_sequence.spawn(1)[0]),
+            **trainer_kwargs,
+        )
+        self.trainer.train(n_iterations if n_iterations is not None else config.n_iterations)
+        return self
+
+    # ------------------------------------------------------------------
+    # Fast selection for unseen tasks
+    # ------------------------------------------------------------------
+    def select(self, task: Task) -> tuple[int, ...]:
+        """Fast feature selection: one greedy episode on the unseen task.
+
+        The task's label column (its training rows) is only used to build
+        the Pearson task representation — no model training happens here,
+        which is what makes the response "fast".
+        """
+        agent = self.inference_agent()
+        representation = pearson_representation(task.features, task.labels)
+        env = FeatureSelectionEnv(
+            task.label_index, representation, None, self.config.env,
+            feature_corr=self._feature_corr,
+        )
+        from repro.core.feat import greedy_subset
+
+        subset = greedy_subset(agent, env)
+        if not subset:
+            # Degenerate cold policies can deselect everything; fall back to
+            # the single most-correlated feature so downstream evaluation is
+            # always defined.
+            subset = (int(np.argmax(representation)),)
+        return subset
+
+    def select_all_unseen(self, suite: TaskSuite | None = None) -> dict[str, tuple[int, ...]]:
+        """Select subsets for every unseen task in the (fitted) suite."""
+        self.inference_agent()
+        suite = suite if suite is not None else self._suite
+        if suite is None:
+            raise RuntimeError("no suite available; call fit() first")
+        return {task.name: self.select(task) for task in suite.unseen_tasks}
+
+    # ------------------------------------------------------------------
+    # Optional on-task refinement (paper Section IV-D)
+    # ------------------------------------------------------------------
+    def further_train(
+        self,
+        task: Task,
+        n_iterations: int,
+        checkpoint_every: int = 10,
+    ) -> list[FurtherTrainRecord]:
+        """Continue training on one unseen task under a larger time budget.
+
+        Builds a reward environment for the task (pretraining its masked
+        classifier), then runs additional FEAT iterations *only* on this
+        task, starting from the already-generalised Q-network.  Returns the
+        greedy-subset score curve.
+        """
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        trainer = self._require_fitted()
+        reward_fn = self.reward_fns.get(task.label_index)
+        if task.label_index not in trainer.envs:
+            reward_fn = self._build_reward(task)
+            self.reward_fns[task.label_index] = reward_fn
+            representation = pearson_representation(task.features, task.labels)
+            trainer.envs[task.label_index] = FeatureSelectionEnv(
+                task.label_index, representation, reward_fn, self.config.env,
+                feature_corr=self._feature_corr,
+            )
+        env = trainer.envs[task.label_index]
+
+        records: list[FurtherTrainRecord] = []
+        best_snapshot = trainer.agent.save_policy()
+        # Seed "best so far" with the zero-shot result so refinement can
+        # only improve on what fast selection already delivers.
+        best_subset = trainer.infer_subset(env)
+        if best_subset:
+            zero_shot_score = env.reward_fn(best_subset)
+            best_value = zero_shot_score - self.config.env.size_penalty * len(
+                best_subset
+            ) / max(1, env.n_features)
+        else:
+            best_value = -np.inf
+        for iteration in range(n_iterations):
+            trajectory = trainer.run_episode(task.label_index)
+            trainer.registry.buffer(task.label_index).add_trajectory(trajectory)
+            for _ in range(self.config.updates_per_iteration):
+                batch = trainer.registry.buffer(task.label_index).sample(
+                    self.config.agent.batch_size, self._rng
+                )
+                trainer.agent.update(batch, task_id=task.label_index)
+            if (iteration + 1) % checkpoint_every == 0 or iteration == n_iterations - 1:
+                subset = trainer.infer_subset(env)
+                score = env.reward_fn(subset) if subset else 0.0
+                # Anytime semantics: each checkpoint reports the best subset
+                # found so far (shaped by the lean-subset penalty), and the
+                # best-scoring policy snapshot is kept — a long refinement
+                # run can therefore never end worse than it started.
+                shaped = score - self.config.env.size_penalty * len(subset) / max(
+                    1, env.n_features
+                )
+                if subset and shaped > best_value:
+                    best_value = shaped
+                    best_subset = subset
+                    best_snapshot = trainer.agent.save_policy()
+                report = best_subset or subset
+                report_score = env.reward_fn(report) if report else 0.0
+                records.append(
+                    FurtherTrainRecord(
+                        iteration=iteration + 1,
+                        subset=report,
+                        score=float(report_score),
+                    )
+                )
+        trainer.agent.load_policy(best_snapshot)
+        return records
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _extra_trainer_kwargs(self) -> dict:
+        """Hook for FEAT-based baseline subclasses to override trainer hooks."""
+        return {}
+
+    def _build_checkpoint_scorer(self, suite: TaskSuite):
+        """Best-snapshot criterion: held-out kernel F1 on seen tasks.
+
+        The RL reward (masked-classifier AUC) is a proxy for the eventual
+        evaluation (a kernel classifier trained on the projected subset).
+        Model selection uses the evaluation family directly — on *seen*
+        tasks only, via an internal train/validation row split — so the
+        kept snapshot is the one whose greedy subsets actually generalise,
+        not the one that pushed the proxy furthest.  Memoised per subset
+        because the greedy policy changes slowly between checkpoints.
+        """
+        from repro.eval.kernel import KernelRidgeClassifier
+        from repro.eval.metrics import f1_score
+
+        rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        splits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for task in suite.seen_tasks:
+            n = task.features.shape[0]
+            permutation = rng.permutation(n)
+            cut = max(1, int(0.75 * n))
+            splits[task.label_index] = (permutation[:cut], permutation[cut:])
+        tasks = {task.label_index: task for task in suite.seen_tasks}
+        cache: dict[tuple[int, tuple[int, ...]], float] = {}
+
+        def score_task(task_id: int, subset: tuple[int, ...]) -> float:
+            key = (task_id, subset)
+            if key in cache:
+                return cache[key]
+            task = tasks[task_id]
+            fit_rows, val_rows = splits[task_id]
+            idx = np.asarray(subset, dtype=np.int64)
+            model = KernelRidgeClassifier(seed=0).fit(
+                task.features[fit_rows][:, idx], task.labels[fit_rows]
+            )
+            predictions = model.predict(task.features[val_rows][:, idx])
+            value = f1_score(task.labels[val_rows], predictions)
+            cache[key] = value
+            return value
+
+        def scorer(subsets: dict[int, tuple[int, ...]]) -> float:
+            # Ignore environments added after fit (e.g. by further_train):
+            # model selection is defined over the original seen tasks.
+            values = [
+                score_task(task_id, subset) if subset else 0.0
+                for task_id, subset in subsets.items()
+                if task_id in tasks
+            ]
+            return float(np.mean(values)) if values else 0.0
+
+        return scorer
+
+    def _build_reward(self, task: Task) -> RewardFunction:
+        """Pretrain the masked classifier for a task and wrap it (Eqn. 2).
+
+        The classifier fits on a train portion of the task's rows; the
+        reward scores subsets on the held-out remainder, keeping the
+        landscape informative (see :func:`repro.eval.reward.build_task_reward`).
+        """
+        config = self.config.classifier
+        seed = int(self._seed_sequence.spawn(1)[0].generate_state(1)[0])
+        classifier = MaskedMLPClassifier(
+            n_features=task.n_features,
+            hidden=config.hidden,
+            lr=config.lr,
+            n_epochs=config.n_epochs,
+            batch_size=config.batch_size,
+            mask_augment=config.mask_augment,
+            seed=seed,
+        )
+        self.classifiers[task.label_index] = classifier
+        return build_task_reward(
+            task.features,
+            task.labels,
+            classifier,
+            metric=self.config.env.reward_metric,
+            seed=seed,
+        )
+
+    def _build_agent(self, n_features: int):
+        from repro.core.state import state_dim
+        from repro.rl.agent import DuelingDQNAgent
+        from repro.rl.schedules import LinearDecay
+
+        config = self.config.agent
+        return DuelingDQNAgent(
+            state_dim=state_dim(n_features),
+            n_actions=FeatureSelectionEnv.N_ACTIONS,
+            hidden=config.hidden,
+            gamma=config.gamma,
+            lr=config.lr,
+            epsilon_schedule=LinearDecay(
+                config.epsilon_start, config.epsilon_end, config.epsilon_decay_steps
+            ),
+            target_sync_every=config.target_sync_every,
+            rng=np.random.default_rng(self._seed_sequence.spawn(1)[0]),
+            grad_clip=config.grad_clip,
+        )
+
+    def _require_fitted(self) -> FEATTrainer:
+        if self.trainer is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.trainer
+
+    def inference_agent(self):
+        """The agent answering unseen tasks: the trainer's, or a loaded one."""
+        if self.trainer is not None:
+            return self.trainer.agent
+        if self._loaded_agent is not None:
+            return self._loaded_agent
+        raise RuntimeError("model is not fitted; call fit() or repro.io.load_model()")

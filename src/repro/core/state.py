@@ -1,0 +1,128 @@
+"""Environment state encoding.
+
+The paper's state "marks the corresponding seen task, records the selected
+features and the current scanning position" (Section II-B) and embeds the
+task representation — the |Pearson| vector — directly into the state so one
+Q-network serves all tasks.  The encoding used here is::
+
+    [ task_repr (m) | selected mask (m) | scan scalars (7) ]
+
+The scan scalars expose the decision-critical quantities directly instead
+of a position one-hot:
+
+* progress ``position / m``;
+* |corr| of the feature under the cursor (0 at terminal);
+* fraction of features selected so far;
+* mean |corr| of the selected features;
+* mean and max |corr| among the not-yet-scanned features (what is still
+  available — lets the policy ration its budget);
+* remaining budget fraction under ``max_feature_ratio``;
+* percentile of the cursor feature's |corr| within this task's
+  representation (absolute-corr thresholds do not transfer between tasks
+  whose correlation scales differ; percentiles do);
+* maximum |feature-feature corr| between the cursor feature and the
+  already-selected set (the redundancy signal — lets the policy skip
+  near-duplicates of features it already holds).
+
+Sharing the select/deselect rule across scan positions (rather than giving
+every position its own one-hot weights) is what lets a small MLP learn a
+task-conditioned threshold policy from a few hundred episodes.  ``EnvState``
+is the *logical* state (which features are selected, where the scan is)
+used by the E-Tree to restore environments; ``encode_state`` maps it to the
+network input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+N_SCAN_SCALARS = 9
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """Logical environment state: an action-prefix snapshot.
+
+    ``selected`` holds the indices chosen so far; ``position`` is the index
+    of the feature currently being scanned (``position == n_features`` means
+    terminal).  Hashable so E-Tree nodes and tests can key on it.
+    """
+
+    selected: tuple[int, ...]
+    position: int
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.selected)))
+        object.__setattr__(self, "selected", ordered)
+        if self.position < 0:
+            raise ValueError(f"position must be >= 0, got {self.position}")
+        if any(i < 0 for i in ordered):
+            raise ValueError("selected feature indices must be >= 0")
+        if ordered and ordered[-1] >= self.position:
+            raise ValueError(
+                f"selected features must precede the scan position "
+                f"(max selected {ordered[-1]}, position {self.position})"
+            )
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected)
+
+
+def state_dim(n_features: int) -> int:
+    """Dimension of the encoded state vector for ``n_features`` features."""
+    if n_features < 1:
+        raise ValueError(f"n_features must be >= 1, got {n_features}")
+    return 2 * n_features + N_SCAN_SCALARS
+
+
+def encode_state(
+    task_representation: np.ndarray,
+    state: EnvState,
+    n_features: int,
+    max_feature_ratio: float = 1.0,
+    feature_corr: np.ndarray | None = None,
+) -> np.ndarray:
+    """Encode a logical state as the Q-network input vector.
+
+    ``feature_corr`` is the optional m×m |Pearson| matrix between features;
+    when provided, the redundancy scalar (max correlation of the cursor
+    feature with the selected set) is populated, otherwise it stays 0.
+    """
+    task_representation = np.asarray(task_representation, dtype=np.float64).reshape(-1)
+    if task_representation.shape[0] != n_features:
+        raise ValueError(
+            f"task representation has {task_representation.shape[0]} entries "
+            f"for {n_features} features"
+        )
+    if state.position > n_features:
+        raise ValueError(
+            f"position {state.position} out of range for {n_features} features"
+        )
+    encoded = np.zeros(state_dim(n_features))
+    encoded[:n_features] = task_representation
+    selected_idx = np.asarray(state.selected, dtype=np.int64)
+    if state.selected:
+        encoded[n_features + selected_idx] = 1.0
+
+    scalars = encoded[2 * n_features :]
+    scalars[0] = state.position / n_features
+    if state.position < n_features:
+        scalars[1] = task_representation[state.position]
+    scalars[2] = len(state.selected) / n_features
+    if state.selected:
+        scalars[3] = float(np.mean(task_representation[selected_idx]))
+    remaining = task_representation[state.position :]
+    if remaining.size:
+        scalars[4] = float(np.mean(remaining))
+        scalars[5] = float(np.max(remaining))
+    budget = max(1, int(np.floor(max_feature_ratio * n_features)))
+    scalars[6] = max(0.0, (budget - len(state.selected)) / budget)
+    if state.position < n_features:
+        cursor_corr = task_representation[state.position]
+        scalars[7] = float(np.mean(task_representation <= cursor_corr))
+        if feature_corr is not None and state.selected:
+            scalars[8] = float(np.max(feature_corr[state.position, selected_idx]))
+    return encoded

@@ -1,0 +1,33 @@
+"""Evaluation substrate: metrics, classifiers and the RL reward function.
+
+The reward (paper Eqn. 2) is the score of a classifier *pretrained on all
+features* and evaluated on masked inputs — :class:`MaskedMLPClassifier`
+plays that role.  Downstream quality of a selected subset is measured by
+training a fresh :class:`LinearSVM` on the projected features, exactly as
+the paper's evaluation protocol prescribes.
+"""
+
+from repro.eval.classifier import MaskedMLPClassifier
+from repro.eval.metrics import (
+    accuracy_score,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.eval.reward import RewardFunction
+from repro.eval.svm import LinearSVM, evaluate_subset_with_svm
+
+__all__ = [
+    "LinearSVM",
+    "MaskedMLPClassifier",
+    "RewardFunction",
+    "accuracy_score",
+    "confusion_counts",
+    "evaluate_subset_with_svm",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+]

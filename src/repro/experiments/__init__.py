@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+One module per artefact:
+
+========  ====================================================  =================
+Artefact  Paper content                                         Module
+========  ====================================================  =================
+Table I   dataset characteristics                               ``table1``
+Fig. 5    Avg F1 vs max-feature-ratio, multi-task baselines     ``fig5``
+Fig. 6    Avg AUC vs max-feature-ratio, multi-task baselines    ``fig6``
+Table II  training-iteration time & execution time              ``table2``
+Fig. 7    single-task baselines: quality & execution time       ``fig7``
+Table III ablation: w/o ITS / ITE / both / PE                   ``table3``
+Fig. 8    ITS benefit vs task difficulty                        ``fig8``
+Fig. 9    further training on unseen tasks                      ``fig9``
+========  ====================================================  =================
+
+Each module exposes ``run(scale=...)`` returning structured results and a
+``render`` helper printing paper-style rows.  ``scale="mini"`` (default) is
+sized for CI; ``scale="full"`` approaches the paper's setup.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    MethodResult,
+    evaluate_selection,
+    run_method,
+    scale_params,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "MethodResult",
+    "evaluate_selection",
+    "run_method",
+    "scale_params",
+]

@@ -1,0 +1,141 @@
+"""Fig. 5 — Avg F1-score vs max feature ratio, multi-task-enhanced methods.
+
+For each dataset, sweeps ``max_feature_ratio`` and runs PA-FEAT against the
+multi-task-enhanced baselines (PopArt, Go-Explore, RR under FEAT; GRRO-LS,
+Ant-TD, MDFS as multi-label methods), reporting Avg F1 over unseen tasks.
+
+Fig. 6 is the identical sweep scored with AUC, so each sweep computes
+*both* metrics in one pass and memoises the outcome per
+``(dataset, scale, methods, ratios, runs, seed)`` — running Fig. 5 then
+Fig. 6 in one process costs a single sweep.
+
+Expected shape (paper Section IV-B1): PA-FEAT dominates at every mfr; its
+curve rises then saturates, while baselines can flatten or dip at high mfr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import load_suite, run_method, scale_params
+
+DEFAULT_METHODS = ("pa-feat", "popart", "go-explore", "rr", "grro-ls", "ant-td", "mdfs")
+DEFAULT_RATIOS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass
+class SweepResult:
+    """mfr sweep for one dataset: method → metric value per ratio."""
+
+    dataset: str
+    metric: str
+    ratios: tuple[float, ...]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: the same sweep's values under the other metric, for cross-checking
+    series_by_metric: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+
+#: Memo of completed sweeps: key → {"f1": {...}, "auc": {...}} series maps.
+_SWEEP_CACHE: dict[tuple, dict[str, dict[str, list[float]]]] = {}
+
+
+def _sweep_both_metrics(
+    dataset: str,
+    scale: str,
+    methods: tuple[str, ...],
+    ratios: tuple[float, ...],
+    runs: int,
+    base_seed: int,
+) -> dict[str, dict[str, list[float]]]:
+    """One pass over (method × ratio × run) recording F1 and AUC."""
+    key = (dataset, scale, tuple(methods), tuple(ratios), runs, base_seed)
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    suite = load_suite(dataset, scale)
+    series: dict[str, dict[str, list[float]]] = {"f1": {}, "auc": {}}
+    for method in methods:
+        f1_values: list[float] = []
+        auc_values: list[float] = []
+        for ratio in ratios:
+            f1_runs, auc_runs = [], []
+            for run_index in range(runs):
+                seed = base_seed + run_index
+                train, test = suite.split_rows(0.7, np.random.default_rng(seed))
+                outcome = run_method(
+                    method, train, test, scale=scale, mfr=ratio, seed=seed
+                )
+                f1_runs.append(outcome.avg_f1)
+                auc_runs.append(outcome.avg_auc)
+            f1_values.append(float(np.mean(f1_runs)))
+            auc_values.append(float(np.mean(auc_runs)))
+        series["f1"][method] = f1_values
+        series["auc"][method] = auc_values
+    _SWEEP_CACHE[key] = series
+    return series
+
+
+def run_sweep(
+    dataset: str,
+    metric: str = "f1",
+    scale: str = "mini",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    n_runs: int | None = None,
+    base_seed: int = 0,
+) -> SweepResult:
+    """Sweep mfr for every method on one dataset (memoised, both metrics)."""
+    if metric not in ("f1", "auc"):
+        raise ValueError(f"metric must be 'f1' or 'auc', got {metric!r}")
+    params = scale_params(scale)
+    runs = n_runs if n_runs is not None else params["n_runs"]
+    both = _sweep_both_metrics(dataset, scale, methods, ratios, runs, base_seed)
+    return SweepResult(
+        dataset=dataset,
+        metric=metric,
+        ratios=tuple(ratios),
+        series=dict(both[metric]),
+        series_by_metric={m: dict(s) for m, s in both.items()},
+    )
+
+
+def run(
+    datasets: tuple[str, ...] = ("water-quality", "yeast"),
+    scale: str = "mini",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    metric: str = "f1",
+) -> list[SweepResult]:
+    """Fig. 5 across datasets (defaults keep bench wall-clock sane)."""
+    return [
+        run_sweep(dataset, metric=metric, scale=scale, methods=methods, ratios=ratios)
+        for dataset in datasets
+    ]
+
+
+def render(results: list[SweepResult]) -> str:
+    """Paper-style series blocks, one per dataset."""
+    blocks = []
+    for result in results:
+        blocks.append(
+            render_series(
+                "mfr",
+                list(result.ratios),
+                result.series,
+                title=(
+                    f"Fig. 5 ({result.dataset}): Avg "
+                    f"{result.metric.upper()} vs max feature ratio"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run(scale="smoke", datasets=("water-quality",))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,51 @@
+"""Fig. 6 — Avg AUC vs max feature ratio, multi-task-enhanced methods.
+
+Identical sweep to Fig. 5 with the AUC metric; see
+:mod:`repro.experiments.fig5` for the machinery.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import (
+    DEFAULT_METHODS,
+    DEFAULT_RATIOS,
+    SweepResult,
+    run_sweep,
+)
+from repro.experiments.reporting import render_series
+
+
+def run(
+    datasets: tuple[str, ...] = ("water-quality", "yeast"),
+    scale: str = "mini",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+) -> list[SweepResult]:
+    """Fig. 6: the Fig. 5 sweep scored with Avg AUC."""
+    return [
+        run_sweep(dataset, metric="auc", scale=scale, methods=methods, ratios=ratios)
+        for dataset in datasets
+    ]
+
+
+def render(results: list[SweepResult]) -> str:
+    """Paper-style series blocks, one per dataset."""
+    blocks = []
+    for result in results:
+        blocks.append(
+            render_series(
+                "mfr",
+                list(result.ratios),
+                result.series,
+                title=f"Fig. 6 ({result.dataset}): Avg AUC vs max feature ratio",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run(scale="smoke", datasets=("water-quality",))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

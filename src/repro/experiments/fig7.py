@@ -1,0 +1,77 @@
+"""Fig. 7 — single-task baselines vs PA-FEAT: quality and latency.
+
+On Water-quality and Yeast (the datasets the paper shows), compares
+PA-FEAT's unseen-task response against K-Best, RFE, SADRLFS and MARLFS on
+Avg F1 and per-task execution time.  Single-task methods pay their full
+from-scratch training cost inside ``select``, so the expected shape is:
+
+* SADRLFS/MARLFS: comparable or slightly better F1, execution time orders
+  of magnitude above PA-FEAT's;
+* K-Best: latency in PA-FEAT's class (one statistics pass) but worse F1;
+* RFE: mid-pack F1, latency well above PA-FEAT (model per elimination
+  round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import load_suite, run_method
+
+DEFAULT_METHODS = ("pa-feat", "k-best", "rfe", "sadrlfs", "marlfs")
+
+
+@dataclass
+class SingleTaskRow:
+    """One dataset's comparison: method → (avg F1, exec seconds)."""
+
+    dataset: str
+    outcomes: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def run(
+    datasets: tuple[str, ...] = ("water-quality", "yeast"),
+    scale: str = "mini",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    mfr: float = 0.6,
+    seed: int = 0,
+) -> list[SingleTaskRow]:
+    """Quality/latency comparison on each dataset."""
+    rows = []
+    for dataset in datasets:
+        suite = load_suite(dataset, scale)
+        train, test = suite.split_rows(0.7, np.random.default_rng(seed))
+        row = SingleTaskRow(dataset=dataset)
+        for method in methods:
+            outcome = run_method(method, train, test, scale=scale, mfr=mfr, seed=seed)
+            row.outcomes[method] = (outcome.avg_f1, outcome.select_seconds)
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[SingleTaskRow]) -> str:
+    """Paper-style per-dataset blocks of (F1, exec time) rows."""
+    blocks = []
+    for row in rows:
+        blocks.append(
+            render_table(
+                ["Method", "Avg F1", "Exec seconds"],
+                [
+                    [method, f1, seconds]
+                    for method, (f1, seconds) in row.outcomes.items()
+                ],
+                title=f"Fig. 7 ({row.dataset}): single-task comparison",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run(scale="smoke", datasets=("water-quality",))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

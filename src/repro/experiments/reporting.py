@@ -1,0 +1,88 @@
+"""Aligned-text rendering of experiment tables and series.
+
+The paper's artefacts are tables and line charts; in a terminal-first
+reproduction both become aligned text: :func:`render_table` for tables,
+:func:`render_series` for the x-vs-y sweeps behind each figure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Format one table cell: floats to fixed precision, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned text table with a separator rule."""
+    if not headers:
+        raise ValueError("render_table needs at least one header")
+    formatted = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render figure data: one column per x value, one row per series."""
+    if not series:
+        raise ValueError("render_series needs at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    headers = [x_label, *[format_cell(x, 2) for x in x_values]]
+    rows = [
+        [name, *[format_cell(v, precision) for v in values]]
+        for name, values in series.items()
+    ]
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def winner_summary(scores: Mapping[str, float], higher_is_better: bool = True) -> str:
+    """One-line 'who wins' summary used in bench output."""
+    if not scores:
+        raise ValueError("winner_summary needs at least one entry")
+    pick = max if higher_is_better else min
+    best = pick(scores, key=lambda name: scores[name])
+    ranked = sorted(scores.items(), key=lambda kv: kv[1], reverse=higher_is_better)
+    parts = ", ".join(f"{name}={value:.4f}" for name, value in ranked)
+    return f"best={best} [{parts}]"

@@ -1,0 +1,102 @@
+"""Statistical utilities for multi-run method comparisons.
+
+The paper averages every result over 5 independent runs; these helpers make
+that rigour explicit: mean ± std summaries, paired sign tests and bootstrap
+confidence intervals, all dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Mean ± std over independent runs."""
+
+    mean: float
+    std: float
+    n_runs: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.n_runs})"
+
+
+def summarize_runs(values: Sequence[float]) -> RunSummary:
+    """Mean and sample standard deviation of per-run scores."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("summarize_runs requires at least one value")
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    return RunSummary(mean=float(values.mean()), std=std, n_runs=values.size)
+
+
+def paired_sign_test(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided sign-test p-value for paired per-run scores.
+
+    Ties are dropped, per the classical test.  With k wins for ``a`` out of
+    n informative pairs, the p-value is ``2 * P(X <= min(k, n-k))`` for
+    ``X ~ Binomial(n, 1/2)``, capped at 1.
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"paired samples differ in length: {a.shape} vs {b.shape}")
+    differences = a - b
+    informative = differences[differences != 0.0]
+    n = informative.size
+    if n == 0:
+        return 1.0
+    wins = int(np.sum(informative > 0))
+    tail = min(wins, n - wins)
+    cumulative = sum(math.comb(n, i) for i in range(tail + 1)) / 2.0**n
+    return min(1.0, 2.0 * cumulative)
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of per-run scores."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("bootstrap requires at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    resample_means = rng.choice(
+        values, size=(n_resamples, values.size), replace=True
+    ).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def compare_methods(
+    per_run_scores: dict[str, Sequence[float]], baseline: str
+) -> dict[str, dict[str, float]]:
+    """Summaries + sign-test p-values of every method against ``baseline``.
+
+    Returns ``{method: {"mean", "std", "delta_vs_baseline", "p_value"}}``.
+    """
+    if baseline not in per_run_scores:
+        raise KeyError(f"baseline {baseline!r} not among methods")
+    baseline_scores = list(per_run_scores[baseline])
+    comparison: dict[str, dict[str, float]] = {}
+    for method, scores in per_run_scores.items():
+        summary = summarize_runs(scores)
+        comparison[method] = {
+            "mean": summary.mean,
+            "std": summary.std,
+            "delta_vs_baseline": summary.mean - float(np.mean(baseline_scores)),
+            "p_value": 1.0
+            if method == baseline
+            else paired_sign_test(list(scores), baseline_scores),
+        }
+    return comparison

@@ -1,0 +1,79 @@
+"""Table II — average iteration time and execution time (seconds).
+
+For the four FEAT-based methods (PopArt, Go-Explore, RR, PA-FEAT) on each
+dataset: mean wall-clock per training iteration ("Iter") and mean response
+time per unseen task ("Exec").
+
+Expected shape (paper Section IV-B1): Exec is nearly identical across the
+four methods (all answer with one environment build + greedy Q inference);
+Iter grows with the feature count; PopArt's Iter is slightly above the
+others because of its extra rescaling transform; Go-Explore's random
+restart rollouts make its iterations cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import load_suite, run_method
+
+DEFAULT_METHODS = ("popart", "go-explore", "rr", "pa-feat")
+
+
+@dataclass
+class TimingRow:
+    """Per-dataset timing: method → (iter seconds, exec seconds)."""
+
+    dataset: str
+    timings: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def run(
+    datasets: tuple[str, ...] = ("water-quality", "yeast"),
+    scale: str = "mini",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    mfr: float = 0.6,
+    seed: int = 0,
+) -> list[TimingRow]:
+    """Measure Iter/Exec for each FEAT-based method on each dataset."""
+    rows = []
+    for dataset in datasets:
+        suite = load_suite(dataset, scale)
+        train, test = suite.split_rows(0.7, np.random.default_rng(seed))
+        row = TimingRow(dataset=dataset)
+        for method in methods:
+            outcome = run_method(method, train, test, scale=scale, mfr=mfr, seed=seed)
+            row.timings[method] = (outcome.iteration_seconds, outcome.select_seconds)
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[TimingRow]) -> str:
+    """Paper-style Table II with Iter/Exec column pairs."""
+    methods = list(rows[0].timings) if rows else []
+    headers = ["Dataset"]
+    for method in methods:
+        headers.extend([f"{method} Iter", f"{method} Exec"])
+    body = []
+    for row in rows:
+        cells: list[object] = [row.dataset]
+        for method in methods:
+            iteration, execution = row.timings[method]
+            cells.extend([iteration, execution])
+        body.append(cells)
+    return render_table(
+        headers,
+        body,
+        title="Table II: avg iteration time and execution time (seconds)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render(run(scale="smoke", datasets=("water-quality",))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,23 @@
+"""Persistence: save trained selectors and datasets to disk.
+
+A production deployment trains PA-FEAT offline (hours), then serves
+unseen-task selections online (milliseconds).  This package provides the
+artifact handoff between those phases:
+
+* :func:`save_model` / :func:`load_model` — the trained Q-network plus the
+  minimal inference context (config, feature-correlation matrix), as a
+  directory of ``config.json`` + ``weights.npz``.
+* :func:`save_suite_csv` / :func:`load_suite_csv` — a
+  :class:`~repro.data.tasks.TaskSuite` as a flat CSV (features + label
+  columns) plus a JSON sidecar with the seen/unseen partition, so real
+  tabular exports can be dropped into the pipeline.
+"""
+
+from repro.io.serialization import (
+    load_model,
+    load_suite_csv,
+    save_model,
+    save_suite_csv,
+)
+
+__all__ = ["load_model", "load_suite_csv", "save_model", "save_suite_csv"]

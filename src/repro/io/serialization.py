@@ -1,0 +1,211 @@
+"""Model and dataset (de)serialization.
+
+Formats are deliberately boring: JSON for metadata and configs, ``.npz``
+for arrays, CSV for tables — all inspectable with standard tools and free
+of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import (
+    AgentConfig,
+    ClassifierConfig,
+    EnvConfig,
+    ITEConfig,
+    ITSConfig,
+    PAFeatConfig,
+)
+from repro.core.env import FeatureSelectionEnv
+from repro.core.pafeat import PAFeat
+from repro.core.state import state_dim
+from repro.data.table import StructuredTable
+from repro.data.tasks import TaskSuite
+from repro.nn.network import load_state_dict
+from repro.rl.agent import DuelingDQNAgent
+from repro.rl.schedules import ConstantSchedule
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Config round trips
+# ---------------------------------------------------------------------------
+
+def config_to_dict(config: PAFeatConfig) -> dict:
+    """Serialise a config tree to plain JSON-compatible types."""
+    data = asdict(config)
+    data["agent"]["hidden"] = list(config.agent.hidden)
+    data["classifier"]["hidden"] = list(config.classifier.hidden)
+    return data
+
+
+def config_from_dict(data: dict) -> PAFeatConfig:
+    """Rebuild a :class:`PAFeatConfig` from :func:`config_to_dict` output."""
+    data = dict(data)
+    agent = dict(data.pop("agent"))
+    agent["hidden"] = tuple(agent["hidden"])
+    classifier = dict(data.pop("classifier"))
+    classifier["hidden"] = tuple(classifier["hidden"])
+    return PAFeatConfig(
+        env=EnvConfig(**data.pop("env")),
+        agent=AgentConfig(**agent),
+        its=ITSConfig(**data.pop("its")),
+        ite=ITEConfig(**data.pop("ite")),
+        classifier=ClassifierConfig(**classifier),
+        **data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model persistence
+# ---------------------------------------------------------------------------
+
+def save_model(model: PAFeat, directory: str | Path) -> Path:
+    """Persist a fitted model's inference artifact to ``directory``.
+
+    Writes ``config.json`` (format version, config, feature count) and
+    ``weights.npz`` (the online Q-network parameters plus the
+    feature-correlation matrix used by the state encoding).
+    """
+    agent = model.inference_agent()
+    if model._n_features is None:
+        raise ValueError("model has no feature-space metadata; fit() it first")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "n_features": model._n_features,
+        "config": config_to_dict(model.config),
+    }
+    (directory / "config.json").write_text(json.dumps(metadata, indent=2))
+
+    arrays = {f"param/{k}": v for k, v in agent.save_policy().items()}
+    if model._feature_corr is not None:
+        arrays["feature_corr"] = model._feature_corr
+    np.savez(directory / "weights.npz", **arrays)
+    return directory
+
+
+def load_model(directory: str | Path) -> PAFeat:
+    """Load an inference-ready :class:`PAFeat` saved by :func:`save_model`.
+
+    The returned model supports :meth:`PAFeat.select` /
+    :meth:`PAFeat.select_all_unseen`; to continue training, refit instead.
+    """
+    directory = Path(directory)
+    metadata = json.loads((directory / "config.json").read_text())
+    if metadata.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {metadata.get('format_version')!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    config = config_from_dict(metadata["config"])
+    n_features = int(metadata["n_features"])
+
+    with np.load(directory / "weights.npz") as arrays:
+        snapshot = {
+            key[len("param/"):]: arrays[key]
+            for key in arrays.files
+            if key.startswith("param/")
+        }
+        feature_corr = arrays["feature_corr"] if "feature_corr" in arrays.files else None
+
+    agent = DuelingDQNAgent(
+        state_dim=state_dim(n_features),
+        n_actions=FeatureSelectionEnv.N_ACTIONS,
+        hidden=config.agent.hidden,
+        gamma=config.agent.gamma,
+        lr=config.agent.lr,
+        epsilon_schedule=ConstantSchedule(0.0),  # inference is greedy
+        target_sync_every=config.agent.target_sync_every,
+        rng=np.random.default_rng(config.seed),
+        grad_clip=config.agent.grad_clip,
+    )
+    load_state_dict(agent.online, snapshot)
+    agent.sync_target()
+
+    model = PAFeat(config)
+    model._n_features = n_features
+    model._feature_corr = feature_corr
+    model._loaded_agent = agent
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Dataset persistence
+# ---------------------------------------------------------------------------
+
+def save_suite_csv(suite: TaskSuite, directory: str | Path) -> Path:
+    """Write a suite as ``data.csv`` + ``suite.json`` (task partition)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    table = suite.table
+    with open(directory / "data.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.feature_names + table.label_names)
+        for i in range(table.n_rows):
+            writer.writerow(
+                [f"{v:.10g}" for v in table.features[i]]
+                + [int(v) for v in table.labels[i]]
+            )
+    sidecar = {
+        "name": suite.name,
+        "n_features": table.n_features,
+        "seen": [task.label_index for task in suite.seen_tasks],
+        "unseen": [task.label_index for task in suite.unseen_tasks],
+        "ground_truth": {
+            str(task.label_index): list(task.ground_truth_features)
+            for task in suite.all_tasks()
+            if task.ground_truth_features is not None
+        },
+    }
+    (directory / "suite.json").write_text(json.dumps(sidecar, indent=2))
+    return directory
+
+
+def load_suite_csv(directory: str | Path) -> TaskSuite:
+    """Load a suite written by :func:`save_suite_csv`."""
+    directory = Path(directory)
+    sidecar = json.loads((directory / "suite.json").read_text())
+    n_features = int(sidecar["n_features"])
+
+    with open(directory / "data.csv", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    if len(header) <= n_features:
+        raise ValueError(
+            f"CSV has {len(header)} columns but the sidecar declares "
+            f"{n_features} features plus at least one label"
+        )
+    features = np.array(
+        [[float(v) for v in row[:n_features]] for row in rows], dtype=np.float64
+    )
+    labels = np.array(
+        [[int(v) for v in row[n_features:]] for row in rows], dtype=np.int64
+    )
+    table = StructuredTable(
+        features,
+        labels,
+        feature_names=header[:n_features],
+        label_names=header[n_features:],
+    )
+    ground_truth = {
+        int(key): tuple(values)
+        for key, values in sidecar.get("ground_truth", {}).items()
+    }
+    return TaskSuite(
+        sidecar["name"],
+        table,
+        seen_label_indices=sidecar["seen"],
+        unseen_label_indices=sidecar["unseen"],
+        ground_truth=ground_truth,
+    )

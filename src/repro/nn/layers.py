@@ -1,0 +1,230 @@
+"""Core layers with explicit forward/backward passes.
+
+Each :class:`Layer` caches whatever it needs during ``forward`` and consumes
+it during ``backward``.  Gradients accumulate on :class:`Parameter` objects;
+optimizers read ``parameter.grad`` and write ``parameter.value`` in place so
+layers and optimizers stay decoupled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for differentiable layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; parametric
+    layers also override :meth:`parameters`.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` (dL/d output) to dL/d input."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        weight_init: str = "he",
+        bias: bool = True,
+        name: str = "linear",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"feature dimensions must be positive, got {in_features}, {out_features}"
+            )
+        init = get_initializer(weight_init)
+        self.weight = Parameter(f"{name}.weight", init(in_features, out_features, rng))
+        self.bias = Parameter(f"{name}.bias", np.zeros(out_features)) if bias else None
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, got {x.shape[1]}"
+            )
+        if training:
+            self._x = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad_output = np.atleast_2d(grad_output)
+        self.weight.grad += self._x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._mask = x > 0.0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=np.float64))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+        if training:
+            self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training`` is True."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Sequential(Layer):
+    """Composes layers in order; backward runs them in reverse."""
+
+    def __init__(self, layers: Sequence[Layer] | Iterable[Layer]):
+        self.layers: list[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,123 @@
+"""Loss functions with analytic gradients.
+
+Each loss exposes ``forward(pred, target) -> float`` and ``backward() ->
+ndarray`` (dL/d pred, averaged over the batch), matching the layer API so a
+training step is ``loss.forward(...); net.backward(loss.backward())``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class; subclasses cache forward inputs for backward."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+def _align(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.atleast_2d(np.asarray(pred, dtype=np.float64))
+    target = np.asarray(target, dtype=np.float64)
+    target = target.reshape(pred.shape)
+    return pred, target
+
+
+class MSELoss(Loss):
+    """Mean squared error, averaged over all elements."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = _align(pred, target)
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class HuberLoss(Loss):
+    """Huber (smooth-L1) loss — the standard robust TD-error loss for DQN."""
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0.0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = _align(pred, target)
+        self._diff = pred - target
+        abs_diff = np.abs(self._diff)
+        quadratic = np.minimum(abs_diff, self.delta)
+        linear = abs_diff - quadratic
+        return float(np.mean(0.5 * quadratic**2 + self.delta * linear))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        clipped = np.clip(self._diff, -self.delta, self.delta)
+        return clipped / self._diff.size
+
+
+class BCELoss(Loss):
+    """Binary cross-entropy on probabilities in (0, 1)."""
+
+    def __init__(self, eps: float = 1e-12):
+        self.eps = eps
+        self._pred: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = _align(pred, target)
+        pred = np.clip(pred, self.eps, 1.0 - self.eps)
+        self._pred, self._target = pred, target
+        return float(
+            -np.mean(target * np.log(pred) + (1.0 - target) * np.log(1.0 - pred))
+        )
+
+    def backward(self) -> np.ndarray:
+        if self._pred is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        denom = self._pred * (1.0 - self._pred) * self._pred.size
+        return (self._pred - self._target) / denom
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy on raw logits with integer class targets."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        logits = np.atleast_2d(np.asarray(pred, dtype=np.float64))
+        target = np.asarray(target, dtype=np.int64).reshape(-1)
+        if target.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: {logits.shape[0]} logits vs {target.shape[0]} targets"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs, self._target = probs, target
+        picked = probs[np.arange(len(target)), target]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._target)), self._target] -= 1.0
+        return grad / len(self._target)

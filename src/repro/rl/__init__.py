@@ -1,0 +1,22 @@
+"""Reinforcement-learning substrate: replay, schedules and the DQN agent.
+
+Task-agnostic pieces live here; everything specific to feature selection
+(the environment, the multi-task trainer, ITS, ITE) lives in
+:mod:`repro.core`.
+"""
+
+from repro.rl.agent import DuelingDQNAgent
+from repro.rl.replay import ReplayBuffer, ReplayRegistry
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+from repro.rl.transition import Transition, Trajectory
+
+__all__ = [
+    "ConstantSchedule",
+    "DuelingDQNAgent",
+    "ExponentialDecay",
+    "LinearDecay",
+    "ReplayBuffer",
+    "ReplayRegistry",
+    "Trajectory",
+    "Transition",
+]

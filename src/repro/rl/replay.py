@@ -1,0 +1,99 @@
+"""Replay buffers: uniform per-task storage plus a per-task registry.
+
+Algorithm 1 of the paper keeps one replay buffer per seen task
+(``B^k``) and samples minibatches from each in turn.  ``ReplayRegistry``
+is that per-task map; each :class:`ReplayBuffer` stores transitions in a
+ring and remembers recent *trajectories* for the Inter-Task Scheduler's
+progress probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.rl.transition import Trajectory, Transition
+
+
+class ReplayBuffer:
+    """Bounded uniform-sampling transition store with a trajectory tail."""
+
+    def __init__(self, capacity: int, trajectory_window: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if trajectory_window < 1:
+            raise ValueError(f"trajectory_window must be >= 1, got {trajectory_window}")
+        self.capacity = capacity
+        self._storage: deque[Transition] = deque(maxlen=capacity)
+        self._recent_trajectories: deque[Trajectory] = deque(maxlen=trajectory_window)
+
+    def add(self, transition: Transition) -> None:
+        self._storage.append(transition)
+
+    def add_trajectory(self, trajectory: Trajectory) -> None:
+        """Store a whole episode: transitions into the ring, tail for ITS."""
+        for transition in trajectory.transitions:
+            self.add(transition)  # via add() so subclasses track metadata
+        self._recent_trajectories.append(trajectory)
+
+    def recent_trajectories(self, n: int | None = None) -> list[Trajectory]:
+        """The most recent episodes (the ``load`` module of Eqn. 4a)."""
+        trajectories = list(self._recent_trajectories)
+        if n is not None:
+            if n < 1:
+                raise ValueError(f"n must be >= 1, got {n}")
+            trajectories = trajectories[-n:]
+        return trajectories
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        """Uniform sample with replacement, as in standard DQN."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty buffer")
+        indices = rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[i] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._storage
+
+
+class ReplayRegistry:
+    """Map task id → :class:`ReplayBuffer`, creating buffers lazily.
+
+    ``buffer_factory`` customises the buffer type (e.g.
+    :class:`~repro.rl.prioritized.PrioritizedReplayBuffer`); it receives
+    ``(capacity, trajectory_window)`` and must return a ReplayBuffer.
+    """
+
+    def __init__(self, capacity: int, trajectory_window: int = 32, buffer_factory=None):
+        self._capacity = capacity
+        self._trajectory_window = trajectory_window
+        self._buffer_factory = buffer_factory or (
+            lambda capacity, window: ReplayBuffer(capacity, trajectory_window=window)
+        )
+        self._buffers: dict[int, ReplayBuffer] = {}
+
+    def buffer(self, task_id: int) -> ReplayBuffer:
+        if task_id not in self._buffers:
+            self._buffers[task_id] = self._buffer_factory(
+                self._capacity, self._trajectory_window
+            )
+        return self._buffers[task_id]
+
+    def task_ids(self) -> list[int]:
+        return sorted(self._buffers)
+
+    def non_empty_task_ids(self) -> list[int]:
+        return [task_id for task_id in self.task_ids() if len(self._buffers[task_id])]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._buffers
+
+    def __len__(self) -> int:
+        return len(self._buffers)

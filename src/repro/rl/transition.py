@@ -1,0 +1,75 @@
+"""Transition and trajectory records produced by environment rollouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) step.
+
+    States are stored as immutable float arrays; ``done`` marks terminal
+    transitions so the TD target drops the bootstrap term.
+
+    ``return_to_go`` is the observed discounted return from this step to
+    the episode's end (the ``R̂`` that Algorithm 1 lines 16-18 store in the
+    buffer alongside the transition).  When present, the agent uses it to
+    tighten TD targets from below (``target = max(td, return_to_go)``),
+    which sharply accelerates credit assignment on these short episodes.
+    """
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    return_to_go: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "state", np.asarray(self.state, dtype=np.float64))
+        object.__setattr__(
+            self, "next_state", np.asarray(self.next_state, dtype=np.float64)
+        )
+        if self.action not in (0, 1):
+            raise ValueError(f"action must be 0 (deselect) or 1 (select), got {self.action}")
+
+
+@dataclass
+class Trajectory:
+    """A full episode: its transitions plus the subset it maps to.
+
+    The paper's ITS reads "recent trajectories mapped to feature subsets"
+    from each task's buffer; carrying the mapping on the trajectory makes
+    that O(1).  ``final_reward`` is the reward of the terminal step, i.e.
+    the masked-classifier score of the final subset.
+    """
+
+    task_id: int
+    transitions: list[Transition] = field(default_factory=list)
+    selected_features: tuple[int, ...] = ()
+    final_reward: float = 0.0
+
+    def append(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+
+    @property
+    def length(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(t.reward for t in self.transitions))
+
+    def returns(self, gamma: float) -> list[float]:
+        """Discounted reward-to-go for each step."""
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        out: list[float] = [0.0] * len(self.transitions)
+        running = 0.0
+        for i in range(len(self.transitions) - 1, -1, -1):
+            running = self.transitions[i].reward + gamma * running
+            out[i] = running
+        return out

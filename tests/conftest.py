@@ -1,0 +1,67 @@
+"""Shared fixtures: tiny synthetic suites and a pre-fitted model.
+
+Expensive fixtures are session-scoped so the suite stays fast: the tiny
+trained PA-FEAT model is fitted once and shared by every test that only
+*reads* it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClassifierConfig, EnvConfig, PAFeatConfig
+from repro.core.pafeat import PAFeat
+from repro.data.synthetic import SyntheticSpec, generate_suite
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+TINY_SPEC = SyntheticSpec(
+    name="tiny",
+    n_instances=160,
+    n_features=12,
+    n_seen=3,
+    n_unseen=2,
+    task_informative=3,
+    n_concepts=2,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_suite():
+    """A small multi-label suite: 160 rows, 12 features, 3 seen + 2 unseen."""
+    return generate_suite(TINY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_suite):
+    """Deterministic 70/30 row split of the tiny suite."""
+    return tiny_suite.split_rows(0.7, np.random.default_rng(0))
+
+
+def fast_config(**overrides) -> PAFeatConfig:
+    """A PA-FEAT config sized for unit tests (a fit takes ~1 second)."""
+    defaults = dict(
+        n_iterations=25,
+        episodes_per_iteration=2,
+        updates_per_iteration=2,
+        checkpoint_every=10,
+        seed=0,
+        env=EnvConfig(max_feature_ratio=0.6),
+        classifier=ClassifierConfig(n_epochs=5),
+    )
+    defaults.update(overrides)
+    return PAFeatConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def fitted_tiny_model(tiny_split):
+    """A PA-FEAT model fitted on the tiny suite (shared, read-only)."""
+    train, _ = tiny_split
+    return PAFeat(fast_config()).fit(train)

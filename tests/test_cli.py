@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_catalog_table(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "yeast" in output and "2417" in output
+
+    def test_single_dataset(self, capsys):
+        assert main(["info", "--dataset", "water-quality"]) == 0
+        output = capsys.readouterr().out
+        assert "1060 instances x 16 features" in output
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--dataset", "mnist"])
+
+
+class TestTrainAndSelect:
+    def test_train_select_round_trip(self, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        code = main([
+            "train", "--dataset", "water-quality", "--scale", "smoke",
+            "--iterations", "5", "--output", str(model_dir),
+        ])
+        assert code == 0
+        assert (model_dir / "weights.npz").exists()
+        capsys.readouterr()
+
+        code = main([
+            "select", "--model", str(model_dir),
+            "--dataset", "water-quality", "--scale", "smoke",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "features" in output and "ms]" in output
+
+    def test_select_with_evaluation(self, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        main([
+            "train", "--dataset", "water-quality", "--scale", "smoke",
+            "--iterations", "5", "--output", str(model_dir),
+        ])
+        capsys.readouterr()
+        main([
+            "select", "--model", str(model_dir),
+            "--dataset", "water-quality", "--scale", "smoke", "--evaluate",
+        ])
+        output = capsys.readouterr().out
+        assert "F1=" in output and "AUC=" in output
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "--artefact", "table1", "--scale", "mini"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--artefact", "fig99"])

@@ -1,0 +1,85 @@
+"""Tests for the trained-model diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    QGapStatistics,
+    explain_selection,
+    policy_feature_scores,
+    q_gap_statistics,
+    render_explanation,
+)
+
+
+class TestExplainSelection:
+    def test_decisions_cover_scanned_prefix(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        decisions = explain_selection(fitted_tiny_model, task)
+        assert decisions
+        assert [d.position for d in decisions] == list(range(len(decisions)))
+
+    def test_selected_flags_match_model_select(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        decisions = explain_selection(fitted_tiny_model, task)
+        explained = tuple(d.position for d in decisions if d.selected)
+        subset = fitted_tiny_model.select(task)
+        # select() falls back to argmax-corr if the episode picked nothing.
+        if explained:
+            assert explained == subset
+
+    def test_annotations_in_valid_ranges(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        for decision in explain_selection(fitted_tiny_model, task):
+            assert 0.0 <= decision.correlation <= 1.0
+            assert 0.0 <= decision.percentile <= 1.0
+            assert 0.0 <= decision.redundancy <= 1.0
+            assert decision.feature_name == task.table.feature_names[decision.position]
+
+    def test_q_gap_sign_matches_action(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        for decision in explain_selection(fitted_tiny_model, task):
+            if decision.q_gap > 0:
+                assert decision.selected
+            elif decision.q_gap < 0:
+                assert not decision.selected
+
+
+class TestPolicyFeatureScores:
+    def test_shape_and_nan_tail(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        scores = policy_feature_scores(fitted_tiny_model, task)
+        assert scores.shape == (task.n_features,)
+        decisions = explain_selection(fitted_tiny_model, task)
+        judged = ~np.isnan(scores)
+        assert judged.sum() == len(decisions)
+
+
+class TestQGapStatistics:
+    def test_statistics_consistent(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        stats = q_gap_statistics(fitted_tiny_model, train.unseen_tasks[0])
+        assert isinstance(stats, QGapStatistics)
+        assert stats.min_abs_gap <= stats.mean_abs_gap <= stats.max_abs_gap
+        assert 0 <= stats.n_selected <= stats.n_decisions
+
+
+class TestRenderExplanation:
+    def test_renders_table(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        decisions = explain_selection(fitted_tiny_model, train.unseen_tasks[0])
+        text = render_explanation(decisions)
+        assert "greedy selection episode" in text
+        assert "q-gap" in text
+
+    def test_truncation_notice(self, fitted_tiny_model, tiny_split):
+        train, _ = tiny_split
+        decisions = explain_selection(fitted_tiny_model, train.unseen_tasks[0])
+        text = render_explanation(decisions, max_rows=1)
+        if len(decisions) > 1:
+            assert "more steps" in text

@@ -1,0 +1,148 @@
+"""Tests for the Mulan/ARFF loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.arff import ArffError, load_arff_suite, parse_arff
+
+DENSE_ARFF = """% a comment
+@relation demo
+
+@attribute feat1 numeric
+@attribute feat2 real
+@attribute colour {red, green, blue}
+@attribute label1 {0, 1}
+@attribute label2 {0, 1}
+
+@data
+1.0, 2.5, red, 0, 1
+2.0, 3.5, green, 1, 0
+% another comment
+3.0, ?, blue, 1, 1
+"""
+
+SPARSE_ARFF = """@relation sparse
+@attribute f1 numeric
+@attribute f2 numeric
+@attribute f3 numeric
+@attribute label1 {0,1}
+@attribute label2 {0,1}
+@data
+{0 1.5, 3 1}
+{1 2.0, 2 3.0, 4 1}
+{}
+"""
+
+
+@pytest.fixture
+def dense_path(tmp_path):
+    path = tmp_path / "demo.arff"
+    path.write_text(DENSE_ARFF)
+    return path
+
+
+@pytest.fixture
+def sparse_path(tmp_path):
+    path = tmp_path / "sparse.arff"
+    path.write_text(SPARSE_ARFF)
+    return path
+
+
+class TestParseArff:
+    def test_dense_parse(self, dense_path):
+        names, values = parse_arff(dense_path)
+        assert names == ["feat1", "feat2", "colour", "label1", "label2"]
+        assert values.shape == (3, 5)
+        assert values[0, 2] == 0.0  # red → index 0
+        assert values[1, 2] == 1.0  # green → index 1
+        assert np.isnan(values[2, 1])  # missing
+
+    def test_sparse_parse(self, sparse_path):
+        names, values = parse_arff(sparse_path)
+        assert values.shape == (3, 5)
+        np.testing.assert_array_equal(values[0], [1.5, 0, 0, 1, 0])
+        np.testing.assert_array_equal(values[2], [0, 0, 0, 0, 0])
+
+    def test_missing_data_section_raises(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text("@relation x\n@attribute a numeric\n")
+        with pytest.raises(ArffError, match="no @data"):
+            parse_arff(path)
+
+    def test_bad_row_width_raises(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text("@relation x\n@attribute a numeric\n@data\n1,2\n")
+        with pytest.raises(ArffError, match="row has 2 values"):
+            parse_arff(path)
+
+    def test_unknown_nominal_value_raises(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text("@relation x\n@attribute a {x,y}\n@attribute b numeric\n@data\nz,1\n")
+        with pytest.raises(ArffError, match="not in nominal domain"):
+            parse_arff(path)
+
+    def test_quoted_attribute_names(self, tmp_path):
+        path = tmp_path / "q.arff"
+        path.write_text("@relation x\n@attribute 'my feat' numeric\n@attribute y numeric\n@data\n1,2\n")
+        names, _ = parse_arff(path)
+        assert names[0] == "my feat"
+
+
+class TestLoadArffSuite:
+    def test_mulan_convention_labels_last(self, dense_path):
+        suite = load_arff_suite(dense_path, n_labels=2, n_seen=1)
+        assert suite.n_features == 3
+        assert suite.n_seen == 1
+        assert suite.n_unseen == 1
+        assert suite.table.label_names == ["label1", "label2"]
+
+    def test_missing_features_imputed_with_mean(self, dense_path):
+        suite = load_arff_suite(dense_path, n_labels=2, n_seen=1)
+        # feat2 row 2 was '?'; imputed with mean of [2.5, 3.5] = 3.0.
+        assert suite.table.features[2, 1] == pytest.approx(3.0)
+
+    def test_labels_first_mode(self, tmp_path):
+        path = tmp_path / "lf.arff"
+        path.write_text(
+            "@relation x\n@attribute l1 {0,1}\n@attribute l2 {0,1}\n"
+            "@attribute f1 numeric\n@data\n0,1,5.0\n1,0,6.0\n"
+        )
+        suite = load_arff_suite(path, n_labels=2, n_seen=1, labels_first=True)
+        assert suite.table.feature_names == ["f1"]
+        np.testing.assert_array_equal(suite.table.labels[:, 0], [0, 1])
+
+    def test_non_binary_labels_rejected(self, tmp_path):
+        path = tmp_path / "nb.arff"
+        path.write_text(
+            "@relation x\n@attribute f numeric\n@attribute l numeric\n"
+            "@attribute l2 numeric\n@data\n1.0,2,0\n2.0,0,1\n"
+        )
+        with pytest.raises(ArffError, match="binary"):
+            load_arff_suite(path, n_labels=2, n_seen=1)
+
+    def test_invalid_partition_rejected(self, dense_path):
+        with pytest.raises(ValueError, match="n_seen"):
+            load_arff_suite(dense_path, n_labels=2, n_seen=2)
+
+    def test_loaded_suite_trains(self, tmp_path, rng):
+        """A real-format file goes through the whole pipeline."""
+        lines = [
+            "@relation gen",
+            *[f"@attribute f{i} numeric" for i in range(5)],
+            "@attribute l0 {0,1}",
+            "@attribute l1 {0,1}",
+            "@data",
+        ]
+        for _ in range(60):
+            x = rng.standard_normal(5)
+            labels = [int(x[0] > 0), int(x[1] > 0)]
+            lines.append(",".join([f"{v:.4f}" for v in x] + [str(v) for v in labels]))
+        path = tmp_path / "gen.arff"
+        path.write_text("\n".join(lines))
+
+        from repro.core.pafeat import PAFeat
+        from tests.conftest import fast_config
+
+        suite = load_arff_suite(path, n_labels=2, n_seen=1)
+        model = PAFeat(fast_config(n_iterations=4)).fit(suite)
+        assert model.select(suite.unseen_tasks[0])

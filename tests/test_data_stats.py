@@ -1,0 +1,104 @@
+"""Tests for correlation / mutual-information statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import (
+    feature_redundancy_matrix,
+    mutual_information_scores,
+    pearson_representation,
+)
+
+
+class TestPearsonRepresentation:
+    def test_perfect_correlation_is_one(self, rng):
+        x = rng.standard_normal((100, 1))
+        representation = pearson_representation(x, x[:, 0])
+        assert representation[0] == pytest.approx(1.0)
+
+    def test_sign_is_dropped(self, rng):
+        x = rng.standard_normal((100, 1))
+        representation = pearson_representation(x, -x[:, 0])
+        assert representation[0] == pytest.approx(1.0)
+
+    def test_constant_feature_scores_zero(self, rng):
+        x = np.hstack([np.ones((50, 1)), rng.standard_normal((50, 1))])
+        representation = pearson_representation(x, rng.integers(0, 2, 50))
+        assert representation[0] == 0.0
+
+    def test_constant_labels_score_zero(self, rng):
+        representation = pearson_representation(
+            rng.standard_normal((50, 3)), np.ones(50)
+        )
+        np.testing.assert_array_equal(representation, 0.0)
+
+    def test_independent_feature_scores_low(self, rng):
+        x = rng.standard_normal((2000, 1))
+        labels = rng.integers(0, 2, 2000)
+        assert pearson_representation(x, labels)[0] < 0.1
+
+    def test_output_in_unit_interval(self, rng):
+        representation = pearson_representation(
+            rng.standard_normal((60, 8)), rng.integers(0, 2, 60)
+        )
+        assert np.all((representation >= 0) & (representation <= 1))
+
+    def test_row_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="row mismatch"):
+            pearson_representation(rng.standard_normal((5, 2)), np.zeros(6))
+
+
+class TestMutualInformation:
+    def test_informative_feature_beats_noise(self, rng):
+        labels = rng.integers(0, 2, 1000)
+        informative = labels + 0.3 * rng.standard_normal(1000)
+        noise = rng.standard_normal(1000)
+        scores = mutual_information_scores(
+            np.column_stack([informative, noise]), labels
+        )
+        assert scores[0] > scores[1] + 0.1
+
+    def test_non_negative(self, rng):
+        scores = mutual_information_scores(
+            rng.standard_normal((200, 5)), rng.integers(0, 2, 200)
+        )
+        assert np.all(scores >= 0.0)
+
+    def test_single_class_labels_score_zero(self, rng):
+        scores = mutual_information_scores(rng.standard_normal((50, 3)), np.ones(50))
+        np.testing.assert_array_equal(scores, 0.0)
+
+    def test_invalid_bins_raise(self, rng):
+        with pytest.raises(ValueError, match="n_bins"):
+            mutual_information_scores(
+                rng.standard_normal((10, 2)), np.zeros(10), n_bins=1
+            )
+
+    def test_perfectly_predictive_feature_near_label_entropy(self, rng):
+        labels = rng.integers(0, 2, 2000)
+        scores = mutual_information_scores(labels[:, None].astype(float), labels)
+        entropy = -np.mean(labels) * np.log(np.mean(labels)) - (
+            1 - np.mean(labels)
+        ) * np.log(1 - np.mean(labels))
+        assert scores[0] == pytest.approx(entropy, rel=0.05)
+
+
+class TestRedundancyMatrix:
+    def test_diagonal_is_one(self, rng):
+        matrix = feature_redundancy_matrix(rng.standard_normal((100, 4)))
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, rng):
+        matrix = feature_redundancy_matrix(rng.standard_normal((100, 4)))
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_duplicated_column_fully_redundant(self, rng):
+        x = rng.standard_normal((100, 1))
+        matrix = feature_redundancy_matrix(np.hstack([x, x]))
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_constant_column_zero(self, rng):
+        x = np.hstack([np.ones((50, 1)), rng.standard_normal((50, 1))])
+        matrix = feature_redundancy_matrix(x)
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 0] == 0.0

@@ -1,0 +1,128 @@
+"""Tests for the synthetic generator and the Table I dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import DATASETS, dataset_names, load_mini_dataset
+from repro.data.stats import pearson_representation
+from repro.data.synthetic import SyntheticSpec, generate_suite
+
+
+def small_spec(**overrides) -> SyntheticSpec:
+    defaults = dict(
+        name="s",
+        n_instances=300,
+        n_features=20,
+        n_seen=3,
+        n_unseen=2,
+        task_informative=4,
+        n_concepts=2,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+class TestSyntheticSpecValidation:
+    def test_rejects_tiny_instances(self):
+        with pytest.raises(ValueError, match="at least 2 instances"):
+            small_spec(n_instances=1)
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            small_spec(informative_fraction=0.8, redundant_fraction=0.5)
+
+    def test_rejects_bad_noise_range(self):
+        with pytest.raises(ValueError, match="noise range"):
+            small_spec(noise_min=0.4, noise_max=0.2)
+
+    def test_rejects_negative_interactions(self):
+        with pytest.raises(ValueError, match="interaction_pairs"):
+            small_spec(interaction_pairs=-1)
+
+
+class TestGenerateSuite:
+    def test_shape_matches_spec(self):
+        suite = generate_suite(small_spec())
+        assert suite.table.n_rows == 300
+        assert suite.table.n_features == 20
+        assert suite.n_seen == 3
+        assert suite.n_unseen == 2
+
+    def test_deterministic_given_seed(self):
+        a = generate_suite(small_spec())
+        b = generate_suite(small_spec())
+        np.testing.assert_array_equal(a.table.features, b.table.features)
+        np.testing.assert_array_equal(a.table.labels, b.table.labels)
+
+    def test_different_seed_differs(self):
+        a = generate_suite(small_spec())
+        b = generate_suite(small_spec(seed=6))
+        assert not np.array_equal(a.table.labels, b.table.labels)
+
+    def test_labels_are_binary(self):
+        suite = generate_suite(small_spec())
+        assert set(np.unique(suite.table.labels)) <= {0, 1}
+
+    def test_classes_roughly_balanced(self):
+        suite = generate_suite(small_spec())
+        rates = suite.table.labels.mean(axis=0)
+        assert np.all(rates > 0.2) and np.all(rates < 0.8)
+
+    def test_ground_truth_recorded_for_every_task(self):
+        suite = generate_suite(small_spec())
+        for task in suite.all_tasks():
+            assert task.ground_truth_features
+            assert all(0 <= f < 20 for f in task.ground_truth_features)
+
+    def test_ground_truth_features_carry_signal(self):
+        """Informative features should out-correlate noise features on average."""
+        suite = generate_suite(small_spec(interaction_pairs=0, noise_max=0.05))
+        task = suite.seen_tasks[0]
+        representation = pearson_representation(task.features, task.labels)
+        gt = np.asarray(task.ground_truth_features)
+        others = np.setdiff1d(np.arange(20), gt)
+        assert representation[gt].mean() > representation[others].mean()
+
+    def test_tasks_within_concept_share_features(self):
+        """Tasks drawing from the same pool overlap in ground truth."""
+        suite = generate_suite(small_spec(n_concepts=1))
+        sets = [set(task.ground_truth_features) for task in suite.all_tasks()]
+        overlaps = [len(a & b) for a in sets for b in sets if a is not b]
+        assert max(overlaps) >= 1
+
+
+class TestCatalog:
+    def test_eight_datasets(self):
+        assert len(dataset_names()) == 8
+
+    def test_table1_characteristics(self):
+        spec = DATASETS["yeast"]
+        assert (spec.n_instances, spec.n_features) == (2417, 103)
+        assert (spec.n_seen, spec.n_unseen) == (7, 7)
+
+    def test_physionet_partition(self):
+        spec = DATASETS["physionet2012"]
+        assert (spec.n_seen, spec.n_unseen) == (12, 17)
+
+    def test_mini_caps_apply(self):
+        suite = load_mini_dataset("yeast", max_rows=100, max_features=16)
+        assert suite.table.n_rows == 100
+        assert suite.table.n_features == 16
+
+    def test_mini_keeps_small_dims(self):
+        suite = load_mini_dataset("water-quality", max_rows=5000, max_features=500)
+        assert suite.table.n_features == 16  # original is already smaller
+
+    def test_mini_preserves_task_structure(self):
+        suite = load_mini_dataset("emotions", max_rows=100, max_features=16)
+        assert suite.n_seen == 4
+        assert suite.n_unseen == 2
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_mini_dataset("not-a-dataset")
+
+    def test_invalid_caps_raise(self):
+        with pytest.raises(ValueError, match="caps"):
+            load_mini_dataset("yeast", max_rows=1)

@@ -1,0 +1,103 @@
+"""Unit tests for StructuredTable."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import StructuredTable
+
+
+@pytest.fixture
+def table(rng):
+    features = rng.standard_normal((10, 4))
+    labels = rng.integers(0, 2, size=(10, 3))
+    return StructuredTable(features, labels)
+
+
+class TestConstruction:
+    def test_shapes(self, table):
+        assert table.n_rows == 10
+        assert table.n_features == 4
+        assert table.n_labels == 3
+
+    def test_default_names(self, table):
+        assert table.feature_names == ["f0", "f1", "f2", "f3"]
+        assert table.label_names == ["y0", "y1", "y2"]
+
+    def test_1d_labels_promoted(self, rng):
+        table = StructuredTable(rng.standard_normal((5, 2)), np.zeros(5))
+        assert table.n_labels == 1
+
+    def test_row_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="row mismatch"):
+            StructuredTable(rng.standard_normal((5, 2)), np.zeros(6))
+
+    def test_wrong_name_count_raises(self, rng):
+        with pytest.raises(ValueError, match="feature names"):
+            StructuredTable(
+                rng.standard_normal((5, 2)), np.zeros(5), feature_names=["a"]
+            )
+
+    def test_non_2d_features_raise(self):
+        with pytest.raises(ValueError, match="2-D"):
+            StructuredTable(np.zeros(5), np.zeros(5))
+
+
+class TestLabelAccess:
+    def test_by_index(self, table):
+        np.testing.assert_array_equal(table.label_column(1), table.labels[:, 1])
+
+    def test_by_name(self, table):
+        np.testing.assert_array_equal(table.label_column("y2"), table.labels[:, 2])
+
+    def test_unknown_name_raises(self, table):
+        with pytest.raises(KeyError, match="no label column"):
+            table.label_column("nope")
+
+    def test_out_of_range_index_raises(self, table):
+        with pytest.raises(IndexError):
+            table.label_column(99)
+
+
+class TestProjection:
+    def test_select_rows_copies(self, table):
+        subset = table.select_rows([0, 2, 4])
+        assert subset.n_rows == 3
+        subset.features[0, 0] = 999.0
+        assert table.features[0, 0] != 999.0
+
+    def test_project_features(self, table):
+        projected = table.project_features([1, 3])
+        np.testing.assert_array_equal(projected, table.features[:, [1, 3]])
+
+    def test_project_deduplicates_and_sorts(self, table):
+        projected = table.project_features([3, 1, 3])
+        assert projected.shape == (10, 2)
+
+    def test_out_of_range_feature_raises(self, table):
+        with pytest.raises(IndexError, match="feature indices"):
+            table.project_features([0, 4])
+
+
+class TestMasking:
+    def test_zero_fill(self, table):
+        masked = table.masked_features([0], fill="zero")
+        np.testing.assert_array_equal(masked[:, 0], table.features[:, 0])
+        assert np.all(masked[:, 1:] == 0.0)
+
+    def test_mean_fill(self, table):
+        masked = table.masked_features([0], fill="mean")
+        for j in range(1, 4):
+            np.testing.assert_allclose(masked[:, j], table.features[:, j].mean())
+
+    def test_full_subset_is_identity(self, table):
+        masked = table.masked_features(range(4))
+        np.testing.assert_array_equal(masked, table.features)
+
+    def test_invalid_fill_raises(self, table):
+        with pytest.raises(ValueError, match="fill must be"):
+            table.masked_features([0], fill="median")
+
+    def test_does_not_mutate_original(self, table):
+        original = table.features.copy()
+        table.masked_features([1])
+        np.testing.assert_array_equal(table.features, original)

@@ -1,0 +1,126 @@
+"""Tests for classification metrics, including property-based AUC checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    accuracy_score,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+
+class TestConfusionAndDerived:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_precision_recall_f1_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        assert f1_score(y, y) == 1.0
+        assert accuracy_score(y, y) == 1.0
+
+    def test_no_predicted_positives(self):
+        assert precision_score(np.array([1, 0]), np.array([0, 0])) == 0.0
+        assert f1_score(np.array([1, 0]), np.array([0, 0])) == 0.0
+
+    def test_no_actual_positives(self):
+        assert recall_score(np.array([0, 0]), np.array([1, 0])) == 0.0
+
+    def test_soft_predictions_thresholded(self):
+        assert accuracy_score(np.array([1, 0]), np.array([0.9, 0.1])) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            f1_score(np.array([]), np.array([]))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError, match="binary"):
+            f1_score(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc_score(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score(np.array([0, 0, 1, 1]), np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, 5000)
+        scores = rng.random(5000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_single_class_returns_chance(self):
+        assert roc_auc_score(np.ones(5, dtype=int), np.arange(5.0)) == 0.5
+        assert roc_auc_score(np.zeros(5, dtype=int), np.arange(5.0)) == 0.5
+
+    def test_ties_count_half(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        labels=st.lists(st.integers(0, 1), min_size=4, max_size=40),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_brute_force_pair_counting(self, labels, seed):
+        """AUC equals P(score_pos > score_neg) + 0.5 P(tie), by definition."""
+        labels = np.array(labels)
+        scores = np.random.default_rng(seed).integers(0, 5, len(labels)) / 4.0
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        if len(positives) == 0 or len(negatives) == 0:
+            assert roc_auc_score(labels, scores) == 0.5
+            return
+        wins = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = wins / (len(positives) * len(negatives))
+        assert roc_auc_score(labels, scores) == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_invariant_under_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, 50)
+        scores = rng.standard_normal(50)
+        base = roc_auc_score(labels, scores)
+        transformed = roc_auc_score(labels, np.exp(scores) + 3.0)
+        assert base == pytest.approx(transformed)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 60))
+    def test_f1_between_zero_and_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, n)
+        y_pred = rng.integers(0, 2, n)
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_f1_is_harmonic_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, 30)
+        y_pred = rng.integers(0, 2, 30)
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        if precision + recall > 0:
+            assert f1 == pytest.approx(2 * precision * recall / (precision + recall))
+        else:
+            assert f1 == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the multi-run statistics utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    bootstrap_confidence_interval,
+    compare_methods,
+    paired_sign_test,
+    summarize_runs,
+)
+
+
+class TestSummarizeRuns:
+    def test_mean_and_std(self):
+        summary = summarize_runs([0.5, 0.7])
+        assert summary.mean == pytest.approx(0.6)
+        assert summary.std == pytest.approx(np.std([0.5, 0.7], ddof=1))
+        assert summary.n_runs == 2
+
+    def test_single_run_std_zero(self):
+        assert summarize_runs([0.8]).std == 0.0
+
+    def test_str_format(self):
+        assert "±" in str(summarize_runs([0.5, 0.6]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+
+class TestPairedSignTest:
+    def test_identical_samples_p_one(self):
+        assert paired_sign_test([0.5, 0.6], [0.5, 0.6]) == 1.0
+
+    def test_consistent_dominance_small_p(self):
+        a = [0.9] * 8
+        b = [0.1] * 8
+        assert paired_sign_test(a, b) == pytest.approx(2 / 256)
+
+    def test_balanced_wins_large_p(self):
+        a = [1, 0, 1, 0]
+        b = [0, 1, 0, 1]
+        assert paired_sign_test(a, b) > 0.5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 20))
+    def test_p_value_in_unit_interval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random(n), rng.random(n)
+        assert 0.0 <= paired_sign_test(a, b) <= 1.0
+
+    def test_symmetric(self):
+        a = [0.9, 0.8, 0.2]
+        b = [0.1, 0.9, 0.3]
+        assert paired_sign_test(a, b) == pytest.approx(paired_sign_test(b, a))
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        values = np.random.default_rng(0).normal(0.7, 0.05, 30)
+        low, high = bootstrap_confidence_interval(values)
+        assert low <= values.mean() <= high
+
+    def test_tighter_with_more_data(self):
+        rng = np.random.default_rng(1)
+        narrow = bootstrap_confidence_interval(rng.normal(0.5, 0.1, 200))
+        wide = bootstrap_confidence_interval(rng.normal(0.5, 0.1, 5))
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_deterministic_given_seed(self):
+        values = [0.4, 0.5, 0.6]
+        assert bootstrap_confidence_interval(values, seed=7) == (
+            bootstrap_confidence_interval(values, seed=7)
+        )
+
+    def test_invalid_confidence_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([0.5], confidence=1.0)
+
+
+class TestCompareMethods:
+    def test_structure(self):
+        scores = {"ours": [0.7, 0.8], "baseline": [0.5, 0.6]}
+        comparison = compare_methods(scores, baseline="baseline")
+        assert comparison["ours"]["delta_vs_baseline"] == pytest.approx(0.2)
+        assert comparison["baseline"]["p_value"] == 1.0
+        assert 0.0 <= comparison["ours"]["p_value"] <= 1.0
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            compare_methods({"a": [0.1]}, baseline="b")

@@ -1,0 +1,76 @@
+"""Tests for the fig5/fig6 shared-sweep memoisation (no training involved)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5, fig6
+from repro.experiments.runner import MethodResult
+
+
+@pytest.fixture
+def counted_run_method(monkeypatch):
+    """Replace run_method with a deterministic counter stub."""
+    calls = {"n": 0}
+
+    def fake_run_method(name, train, test, scale="mini", mfr=0.6, seed=0):
+        calls["n"] += 1
+        return MethodResult(
+            method=name,
+            avg_f1=0.5 + 0.1 * mfr,
+            avg_auc=0.6 + 0.1 * mfr,
+            prepare_seconds=0.0,
+            iteration_seconds=0.0,
+            select_seconds=0.0,
+        )
+
+    monkeypatch.setattr(fig5, "run_method", fake_run_method)
+    fig5._SWEEP_CACHE.clear()
+    yield calls
+    fig5._SWEEP_CACHE.clear()
+
+
+class TestSweepMemoisation:
+    def test_fig6_reuses_fig5_sweep(self, counted_run_method):
+        kwargs = dict(
+            datasets=("water-quality",),
+            scale="smoke",
+            methods=("k-best",),
+            ratios=(0.4, 0.8),
+        )
+        fig5.run(metric="f1", **kwargs)
+        after_fig5 = counted_run_method["n"]
+        assert after_fig5 == 2  # one method, two ratios, one run
+
+        fig6.run(**kwargs)
+        assert counted_run_method["n"] == after_fig5  # zero extra work
+
+    def test_both_metrics_recorded_in_one_pass(self, counted_run_method):
+        results = fig5.run(
+            datasets=("water-quality",),
+            scale="smoke",
+            methods=("k-best",),
+            ratios=(0.6,),
+            metric="f1",
+        )
+        sweep = results[0]
+        assert sweep.series["k-best"] == [pytest.approx(0.56)]
+        assert sweep.series_by_metric["auc"]["k-best"] == [pytest.approx(0.66)]
+
+    def test_different_ratios_not_conflated(self, counted_run_method):
+        common = dict(
+            datasets=("water-quality",), scale="smoke", methods=("k-best",)
+        )
+        fig5.run(ratios=(0.4,), **common)
+        first = counted_run_method["n"]
+        fig5.run(ratios=(0.8,), **common)
+        assert counted_run_method["n"] == first + 1  # new key → new sweep
+
+    def test_fig6_results_marked_auc(self, counted_run_method):
+        results = fig6.run(
+            datasets=("water-quality",),
+            scale="smoke",
+            methods=("k-best",),
+            ratios=(0.6,),
+        )
+        assert results[0].metric == "auc"
+        assert results[0].series["k-best"] == [pytest.approx(0.66)]

@@ -1,0 +1,103 @@
+"""Tests for model and dataset persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAFeatConfig
+from repro.core.pafeat import PAFeat
+from repro.io import load_model, load_suite_csv, save_model, save_suite_csv
+from repro.io.serialization import config_from_dict, config_to_dict
+from tests.conftest import fast_config
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = PAFeatConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_custom_config(self):
+        config = fast_config(use_its=False, seed=9)
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.agent.hidden == config.agent.hidden
+
+    def test_dict_is_json_compatible(self):
+        text = json.dumps(config_to_dict(PAFeatConfig()))
+        assert "max_feature_ratio" in text
+
+
+class TestModelPersistence:
+    def test_round_trip_preserves_selection(self, fitted_tiny_model, tiny_split, tmp_path):
+        train, _ = tiny_split
+        save_model(fitted_tiny_model, tmp_path / "model")
+        restored = load_model(tmp_path / "model")
+        for task in train.unseen_tasks:
+            assert restored.select(task) == fitted_tiny_model.select(task)
+
+    def test_artifact_files_exist(self, fitted_tiny_model, tmp_path):
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        assert (directory / "config.json").exists()
+        assert (directory / "weights.npz").exists()
+
+    def test_loaded_model_config_matches(self, fitted_tiny_model, tmp_path):
+        save_model(fitted_tiny_model, tmp_path / "m")
+        restored = load_model(tmp_path / "m")
+        assert restored.config == fitted_tiny_model.config
+
+    def test_unfitted_model_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            save_model(PAFeat(fast_config()), tmp_path / "m")
+
+    def test_wrong_format_version_raises(self, fitted_tiny_model, tmp_path):
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        metadata = json.loads((directory / "config.json").read_text())
+        metadata["format_version"] = 999
+        (directory / "config.json").write_text(json.dumps(metadata))
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_model(directory)
+
+    def test_loaded_model_cannot_further_train(self, fitted_tiny_model, tiny_split, tmp_path):
+        train, _ = tiny_split
+        save_model(fitted_tiny_model, tmp_path / "m")
+        restored = load_model(tmp_path / "m")
+        with pytest.raises(RuntimeError):
+            restored.further_train(train.unseen_tasks[0], 1)
+
+
+class TestSuiteCsv:
+    def test_round_trip(self, tiny_suite, tmp_path):
+        save_suite_csv(tiny_suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        np.testing.assert_allclose(restored.table.features, tiny_suite.table.features)
+        np.testing.assert_array_equal(restored.table.labels, tiny_suite.table.labels)
+        assert restored.n_seen == tiny_suite.n_seen
+        assert restored.n_unseen == tiny_suite.n_unseen
+
+    def test_ground_truth_survives(self, tiny_suite, tmp_path):
+        save_suite_csv(tiny_suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        for original, loaded in zip(tiny_suite.all_tasks(), restored.all_tasks()):
+            assert original.ground_truth_features == loaded.ground_truth_features
+
+    def test_column_names_survive(self, tiny_suite, tmp_path):
+        save_suite_csv(tiny_suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        assert restored.table.feature_names == tiny_suite.table.feature_names
+        assert restored.table.label_names == tiny_suite.table.label_names
+
+    def test_corrupt_sidecar_detected(self, tiny_suite, tmp_path):
+        directory = save_suite_csv(tiny_suite, tmp_path / "data")
+        sidecar = json.loads((directory / "suite.json").read_text())
+        sidecar["n_features"] = 999
+        (directory / "suite.json").write_text(json.dumps(sidecar))
+        with pytest.raises(ValueError, match="columns"):
+            load_suite_csv(directory)
+
+    def test_loaded_suite_usable_for_training(self, tiny_suite, tmp_path):
+        save_suite_csv(tiny_suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        train, _ = restored.split_rows(0.7, np.random.default_rng(0))
+        model = PAFeat(fast_config(n_iterations=3)).fit(train)
+        assert model.select(train.unseen_tasks[0])

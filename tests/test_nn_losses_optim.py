@@ -1,0 +1,162 @@
+"""Unit tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.losses import BCELoss, CrossEntropyLoss, HuberLoss, MSELoss
+from repro.nn.optim import SGD, Adam
+
+
+class TestMSELoss:
+    def test_zero_for_perfect_prediction(self):
+        loss = MSELoss()
+        assert loss.forward(np.ones((2, 2)), np.ones((2, 2))) == 0.0
+
+    def test_known_value(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_gradient_direction(self):
+        loss = MSELoss()
+        loss.forward(np.array([[3.0]]), np.array([[1.0]]))
+        grad = loss.backward()
+        assert grad[0, 0] > 0  # prediction above target → positive gradient
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        value = loss.forward(np.array([[0.5]]), np.array([[0.0]]))
+        assert value == pytest.approx(0.5 * 0.25)
+
+    def test_linear_outside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        value = loss.forward(np.array([[3.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(0.5 + 2.0)  # 0.5*delta^2 + delta*(3-1)
+
+    def test_gradient_clipped_outside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        loss.forward(np.array([[10.0]]), np.array([[0.0]]))
+        grad = loss.backward()
+        assert grad[0, 0] == pytest.approx(1.0)  # clipped to delta, batch 1
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta must be positive"):
+            HuberLoss(delta=0.0)
+
+
+class TestBCELoss:
+    def test_confident_correct_is_small(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.999]]), np.array([[1.0]]))
+        assert value < 0.01
+
+    def test_confident_wrong_is_large(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.999]]), np.array([[0.0]]))
+        assert value > 5.0
+
+    def test_gradient_sign(self):
+        loss = BCELoss()
+        loss.forward(np.array([[0.8]]), np.array([[0.0]]))
+        assert loss.backward()[0, 0] > 0
+
+    def test_clipping_avoids_infinities(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.0]]), np.array([[1.0]]))
+        assert np.isfinite(value)
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_n(self):
+        loss = CrossEntropyLoss()
+        value = loss.forward(np.zeros((1, 4)), np.array([2]))
+        assert value == pytest.approx(np.log(4.0))
+
+    def test_gradient_sums_to_zero_per_row(self):
+        loss = CrossEntropyLoss()
+        loss.forward(np.array([[1.0, 2.0, 3.0]]), np.array([0]))
+        grad = loss.backward()
+        assert grad.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_batch_mismatch_raises(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError, match="batch mismatch"):
+            loss.forward(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+
+class TestSGD:
+    def test_plain_step_descends(self):
+        parameter = Parameter("w", np.array([1.0]))
+        parameter.grad[...] = np.array([2.0])
+        SGD([parameter], lr=0.1).step()
+        np.testing.assert_allclose(parameter.value, [0.8])
+
+    def test_momentum_accumulates(self):
+        parameter = Parameter("w", np.array([0.0]))
+        optimizer = SGD([parameter], lr=0.1, momentum=0.9)
+        parameter.grad[...] = np.array([1.0])
+        optimizer.step()
+        first = parameter.value.copy()
+        parameter.grad[...] = np.array([1.0])
+        optimizer.step()
+        second_delta = parameter.value - first
+        assert abs(second_delta[0]) > 0.1  # momentum adds to the raw step
+
+    def test_invalid_momentum_raises(self):
+        parameter = Parameter("w", np.zeros(1))
+        with pytest.raises(ValueError, match="momentum"):
+            SGD([parameter], lr=0.1, momentum=1.0)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError, match="at least one parameter"):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        parameter = Parameter("w", np.array([5.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(200):
+            parameter.grad[...] = 2.0 * parameter.value  # d/dw w^2
+            optimizer.step()
+            parameter.zero_grad()
+        assert abs(parameter.value[0]) < 0.05
+
+    def test_first_step_size_is_lr(self):
+        parameter = Parameter("w", np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.01)
+        parameter.grad[...] = np.array([123.0])
+        optimizer.step()
+        # Bias correction makes the first step ~lr regardless of grad scale.
+        assert abs(1.0 - parameter.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas(self):
+        parameter = Parameter("w", np.zeros(1))
+        with pytest.raises(ValueError, match="betas"):
+            Adam([parameter], betas=(1.0, 0.999))
+
+    def test_clip_grad_norm_rescales(self, rng):
+        layer = Linear(4, 4, rng)
+        optimizer = Adam(layer.parameters())
+        for parameter in layer.parameters():
+            parameter.grad[...] = 100.0
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm > 1.0
+        total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in layer.parameters()))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_when_under_limit(self, rng):
+        layer = Linear(2, 2, rng)
+        optimizer = Adam(layer.parameters())
+        for parameter in layer.parameters():
+            parameter.grad[...] = 1e-4
+        before = [p.grad.copy() for p in layer.parameters()]
+        optimizer.clip_grad_norm(10.0)
+        for parameter, saved in zip(layer.parameters(), before):
+            np.testing.assert_array_equal(parameter.grad, saved)

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.etree import ETree
+from repro.core.state import EnvState, encode_state, state_dim
+from repro.data.synthetic import SyntheticSpec, generate_suite
+from repro.rl.replay import ReplayBuffer
+from repro.rl.transition import Trajectory, Transition
+
+
+# ---------------------------------------------------------------------------
+# E-Tree invariants
+# ---------------------------------------------------------------------------
+
+action_lists = st.lists(st.integers(0, 1), min_size=1, max_size=8)
+
+
+def build_trajectory(actions, final_reward):
+    trajectory = Trajectory(task_id=0, final_reward=final_reward)
+    selected = []
+    for position, action in enumerate(actions):
+        if action == 1:
+            selected.append(position)
+        trajectory.append(
+            Transition(np.zeros(1), action, 0.0, np.zeros(1), position == len(actions) - 1)
+        )
+    trajectory.selected_features = tuple(selected)
+    return trajectory
+
+
+class TestETreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        episodes=st.lists(
+            st.tuples(action_lists, st.floats(0.0, 1.0)), min_size=1, max_size=10
+        )
+    )
+    def test_parent_visits_at_least_child_visits(self, episodes):
+        tree = ETree(n_features=8)
+        for actions, reward in episodes:
+            tree.add_trajectory(build_trajectory(actions, reward))
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            child_total = sum(child.visits for child in node.children.values())
+            assert node.visits >= child_total - len(episodes)
+            for child in node.children.values():
+                assert node.visits >= child.visits
+                stack.append(child)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        episodes=st.lists(
+            st.tuples(action_lists, st.floats(0.0, 1.0)), min_size=1, max_size=10
+        )
+    )
+    def test_states_consistent_with_action_prefix(self, episodes):
+        tree = ETree(n_features=8)
+        for actions, reward in episodes:
+            tree.add_trajectory(build_trajectory(actions, reward))
+        stack = [(tree.root, [])]
+        while stack:
+            node, prefix = stack.pop()
+            expected_selected = tuple(
+                i for i, action in enumerate(prefix) if action == 1
+            )
+            assert node.state.selected == expected_selected
+            assert node.state.position == len(prefix)
+            for action, child in node.children.items():
+                stack.append((child, prefix + [action]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        episodes=st.lists(
+            st.tuples(action_lists, st.floats(0.0, 1.0)), min_size=1, max_size=8
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_selected_state_always_valid(self, episodes, seed):
+        tree = ETree(n_features=8)
+        for actions, reward in episodes:
+            tree.add_trajectory(build_trajectory(actions, reward))
+        state = tree.select_state(np.random.default_rng(seed))
+        assert 0 <= state.position <= 8
+        assert all(f < state.position for f in state.selected)
+
+
+# ---------------------------------------------------------------------------
+# State encoding invariants
+# ---------------------------------------------------------------------------
+
+
+class TestStateEncodingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_features=st.integers(2, 30),
+        seed=st.integers(0, 1000),
+        position_fraction=st.floats(0.0, 1.0),
+    )
+    def test_encoding_dimension_and_bounds(self, n_features, seed, position_fraction):
+        rng = np.random.default_rng(seed)
+        representation = rng.random(n_features)
+        position = int(round(position_fraction * n_features))
+        eligible = list(range(position))
+        selected = tuple(
+            f for f in eligible if rng.random() < 0.5
+        )
+        state = EnvState(selected=selected, position=position)
+        encoded = encode_state(representation, state, n_features)
+        assert encoded.shape == (state_dim(n_features),)
+        assert np.all(np.isfinite(encoded))
+        # Mask block is exactly the selected indicator.
+        mask = encoded[n_features : 2 * n_features]
+        assert mask.sum() == len(selected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_features=st.integers(2, 20), seed=st.integers(0, 100))
+    def test_encoding_is_injective_on_logical_state(self, n_features, seed):
+        """Different logical states encode differently (same task repr)."""
+        rng = np.random.default_rng(seed)
+        representation = rng.random(n_features)
+        a = EnvState(selected=(), position=1)
+        b = EnvState(selected=(0,), position=1)
+        ea = encode_state(representation, a, n_features)
+        eb = encode_state(representation, b, n_features)
+        assert not np.array_equal(ea, eb)
+
+
+# ---------------------------------------------------------------------------
+# Replay buffer invariants
+# ---------------------------------------------------------------------------
+
+
+class TestReplayProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        capacity=st.integers(1, 50),
+        n_items=st.integers(0, 120),
+        batch=st.integers(1, 16),
+        seed=st.integers(0, 100),
+    )
+    def test_ring_semantics(self, capacity, n_items, batch, seed):
+        buffer = ReplayBuffer(capacity)
+        for i in range(n_items):
+            buffer.add(Transition(np.zeros(1), 0, float(i), np.zeros(1), False))
+        assert len(buffer) == min(capacity, n_items)
+        if n_items:
+            sample = buffer.sample(batch, np.random.default_rng(seed))
+            assert len(sample) == batch
+            oldest_kept = max(0, n_items - capacity)
+            assert all(t.reward >= oldest_kept for t in sample)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic-data invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSyntheticProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_features=st.integers(8, 40),
+        n_seen=st.integers(1, 4),
+        n_unseen=st.integers(1, 3),
+    )
+    def test_generated_suite_always_well_formed(self, seed, n_features, n_seen, n_unseen):
+        spec = SyntheticSpec(
+            name="p",
+            n_instances=60,
+            n_features=n_features,
+            n_seen=n_seen,
+            n_unseen=n_unseen,
+            task_informative=3,
+            n_concepts=2,
+            seed=seed,
+        )
+        suite = generate_suite(spec)
+        assert suite.table.n_features == n_features
+        assert suite.n_seen == n_seen and suite.n_unseen == n_unseen
+        assert np.all(np.isfinite(suite.table.features))
+        for task in suite.all_tasks():
+            assert set(np.unique(task.labels)) <= {0, 1}
+            gt = task.ground_truth_features
+            assert gt and all(0 <= f < n_features for f in gt)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_determinism(self, seed):
+        spec = SyntheticSpec(
+            name="d", n_instances=50, n_features=10, n_seen=2, n_unseen=1,
+            task_informative=2, seed=seed,
+        )
+        a, b = generate_suite(spec), generate_suite(spec)
+        np.testing.assert_array_equal(a.table.features, b.table.features)
+        np.testing.assert_array_equal(a.table.labels, b.table.labels)
+
+
+# ---------------------------------------------------------------------------
+# Metric/trajectory interplay
+# ---------------------------------------------------------------------------
+
+
+class TestTrajectoryProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rewards=st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=12),
+        gamma=st.floats(0.0, 1.0),
+    )
+    def test_returns_satisfy_bellman_recursion(self, rewards, gamma):
+        trajectory = Trajectory(task_id=0)
+        for i, reward in enumerate(rewards):
+            trajectory.append(
+                Transition(np.zeros(1), 0, reward, np.zeros(1), i == len(rewards) - 1)
+            )
+        returns = trajectory.returns(gamma)
+        for i in range(len(rewards) - 1):
+            assert returns[i] == pytest.approx(rewards[i] + gamma * returns[i + 1])
+        assert returns[-1] == pytest.approx(rewards[-1])

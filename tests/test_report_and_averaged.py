@@ -1,0 +1,59 @@
+"""Tests for the report orchestrator and multi-run averaging."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import report
+from repro.experiments.runner import run_method_averaged
+
+
+class TestReportOrchestrator:
+    def test_artefact_inventory_is_complete(self):
+        names = [name for name, _ in report._artefacts("smoke", ("water-quality",))]
+        assert names == [
+            "Table I", "Fig. 5", "Fig. 6", "Table II",
+            "Fig. 7", "Table III", "Fig. 8", "Fig. 9",
+        ]
+
+    def test_build_report_assembles_sections(self, monkeypatch, tmp_path):
+        def fake_artefacts(scale, datasets):
+            yield "Table I", lambda: "ROWS-1"
+            yield "Fig. 5", lambda: "ROWS-5"
+
+        monkeypatch.setattr(report, "_artefacts", fake_artefacts)
+        output = tmp_path / "r.md"
+        text = report.build_report("smoke", ("water-quality",), output)
+        assert "## Table I" in text and "ROWS-1" in text
+        assert "## Fig. 5" in text and "ROWS-5" in text
+        assert output.read_text() == text
+
+    def test_report_runs_one_real_artefact(self):
+        """Smoke-run the cheapest artefact through the real path."""
+        sections = dict(report._artefacts("mini", ("water-quality",)))
+        rendered = sections["Table I"]()
+        assert "yeast" in rendered
+
+
+class TestRunMethodAveraged:
+    def test_averages_over_runs(self):
+        result = run_method_averaged(
+            "k-best", "water-quality", scale="smoke", n_runs=2
+        )
+        assert result.method == "k-best"
+        assert 0.0 <= result.avg_f1 <= 1.0
+        assert result.per_task  # first run's detail retained
+
+    def test_single_run_equals_direct(self):
+        averaged = run_method_averaged(
+            "all-features", "water-quality", scale="smoke", n_runs=1, base_seed=3
+        )
+        from repro.experiments.runner import load_suite, run_method
+
+        suite = load_suite("water-quality", "smoke")
+        train, test = suite.split_rows(0.7, np.random.default_rng(3))
+        direct = run_method("all-features", train, test, scale="smoke", seed=3)
+        assert averaged.avg_f1 == pytest.approx(direct.avg_f1)
+
+    def test_invalid_runs_raise(self):
+        with pytest.raises(ValueError, match="n_runs"):
+            run_method_averaged("k-best", "water-quality", scale="smoke", n_runs=0)

@@ -1,0 +1,120 @@
+"""Tests for the prioritized-replay extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.pafeat import PAFeat
+from repro.rl.prioritized import PrioritizedReplayBuffer
+from repro.rl.transition import Transition
+from tests.conftest import fast_config
+
+
+def make_transition(reward=0.0):
+    return Transition(np.zeros(2), 0, reward, np.zeros(2), False)
+
+
+class TestPrioritizedBuffer:
+    def test_new_items_get_max_priority(self):
+        buffer = PrioritizedReplayBuffer(10)
+        buffer.add(make_transition())
+        assert buffer._priorities == [1.0]
+
+    def test_priorities_follow_ring_eviction(self):
+        buffer = PrioritizedReplayBuffer(3)
+        for i in range(7):
+            buffer.add(make_transition(reward=float(i)))
+        assert len(buffer._priorities) == len(buffer) == 3
+
+    def test_high_priority_sampled_more(self, rng):
+        buffer = PrioritizedReplayBuffer(4, alpha=1.0)
+        for i in range(4):
+            buffer.add(make_transition(reward=float(i)))
+        buffer.sample(4, rng)
+        # Give transition with reward 3 a huge priority, the rest tiny.
+        buffer.last_indices = np.arange(4)
+        buffer.update_priorities(np.array([1e-6, 1e-6, 1e-6, 10.0]))
+        counts = np.zeros(4)
+        for _ in range(200):
+            batch = buffer.sample(1, rng)
+            counts[int(batch[0].reward)] += 1
+        assert counts[3] > 150
+
+    def test_importance_weights_normalised(self, rng):
+        buffer = PrioritizedReplayBuffer(8)
+        for i in range(8):
+            buffer.add(make_transition(reward=float(i)))
+        buffer.sample(4, rng)
+        assert buffer.last_weights is not None
+        assert buffer.last_weights.max() == pytest.approx(1.0)
+        assert np.all(buffer.last_weights > 0)
+
+    def test_update_before_sample_raises(self):
+        buffer = PrioritizedReplayBuffer(4)
+        buffer.add(make_transition())
+        with pytest.raises(RuntimeError, match="before sample"):
+            buffer.update_priorities(np.array([1.0]))
+
+    def test_mismatched_error_count_raises(self, rng):
+        buffer = PrioritizedReplayBuffer(4)
+        buffer.add(make_transition())
+        buffer.sample(2, rng)
+        with pytest.raises(ValueError, match="TD errors"):
+            buffer.update_priorities(np.array([1.0]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(4, alpha=2.0)
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(4, beta=-0.1)
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(4, epsilon=0.0)
+
+
+class TestAgentTDErrors:
+    def test_td_errors_shape_and_sign(self):
+        from repro.rl.agent import DuelingDQNAgent
+        from repro.rl.schedules import ConstantSchedule
+
+        agent = DuelingDQNAgent(
+            state_dim=3, n_actions=2, hidden=[8], gamma=0.9, lr=1e-2,
+            epsilon_schedule=ConstantSchedule(0.0), target_sync_every=5,
+            rng=np.random.default_rng(0),
+        )
+        batch = [
+            Transition(np.ones(3), 1, 1.0, np.zeros(3), True),
+            Transition(np.zeros(3), 0, -1.0, np.ones(3), False),
+        ]
+        errors = agent.td_errors(batch)
+        assert errors.shape == (2,)
+        assert np.all(errors >= 0)
+
+    def test_td_errors_shrink_with_training(self):
+        from repro.rl.agent import DuelingDQNAgent
+        from repro.rl.schedules import ConstantSchedule
+
+        agent = DuelingDQNAgent(
+            state_dim=3, n_actions=2, hidden=[8], gamma=0.9, lr=1e-2,
+            epsilon_schedule=ConstantSchedule(0.0), target_sync_every=5,
+            rng=np.random.default_rng(0),
+        )
+        batch = [Transition(np.ones(3), 1, 1.0, np.zeros(3), True)]
+        before = agent.td_errors(batch)[0]
+        for _ in range(100):
+            agent.update(batch)
+        assert agent.td_errors(batch)[0] < before
+
+
+class TestEndToEnd:
+    def test_pafeat_trains_with_prioritized_replay(self, tiny_split):
+        from repro.core.config import AgentConfig
+
+        train, _ = tiny_split
+        config = fast_config(
+            n_iterations=6, agent=AgentConfig(prioritized_replay=True)
+        )
+        model = PAFeat(config).fit(train)
+        buffer = model.trainer.registry.buffer(
+            model.trainer.registry.task_ids()[0]
+        )
+        assert isinstance(buffer, PrioritizedReplayBuffer)
+        assert model.select(train.unseen_tasks[0])

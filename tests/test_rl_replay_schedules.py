@@ -1,0 +1,148 @@
+"""Tests for transitions, replay buffers and epsilon schedules."""
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import ReplayBuffer, ReplayRegistry
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+from repro.rl.transition import Trajectory, Transition
+
+
+def make_transition(reward=1.0, action=1, done=False, return_to_go=None):
+    return Transition(
+        state=np.zeros(3),
+        action=action,
+        reward=reward,
+        next_state=np.ones(3),
+        done=done,
+        return_to_go=return_to_go,
+    )
+
+
+class TestTransition:
+    def test_states_coerced_to_float_arrays(self):
+        transition = make_transition()
+        assert transition.state.dtype == np.float64
+
+    def test_invalid_action_raises(self):
+        with pytest.raises(ValueError, match="action must be 0 .*or 1"):
+            make_transition(action=2)
+
+    def test_return_to_go_optional(self):
+        assert make_transition().return_to_go is None
+        assert make_transition(return_to_go=0.7).return_to_go == 0.7
+
+
+class TestTrajectory:
+    def test_returns_discounting(self):
+        trajectory = Trajectory(task_id=0)
+        for reward in [1.0, 2.0, 4.0]:
+            trajectory.append(make_transition(reward=reward))
+        returns = trajectory.returns(0.5)
+        assert returns == [1.0 + 0.5 * (2.0 + 0.5 * 4.0), 2.0 + 0.5 * 4.0, 4.0]
+
+    def test_total_reward(self):
+        trajectory = Trajectory(task_id=0)
+        trajectory.append(make_transition(reward=1.5))
+        trajectory.append(make_transition(reward=0.5))
+        assert trajectory.total_reward == 2.0
+        assert trajectory.length == 2
+
+    def test_invalid_gamma_raises(self):
+        with pytest.raises(ValueError, match="gamma"):
+            Trajectory(task_id=0).returns(1.5)
+
+
+class TestReplayBuffer:
+    def test_capacity_enforced(self):
+        buffer = ReplayBuffer(capacity=3)
+        for i in range(10):
+            buffer.add(make_transition(reward=float(i)))
+        assert len(buffer) == 3
+
+    def test_ring_keeps_most_recent(self):
+        buffer = ReplayBuffer(capacity=2)
+        for i in range(5):
+            buffer.add(make_transition(reward=float(i)))
+        rewards = {t.reward for t in buffer.sample(50, np.random.default_rng(0))}
+        assert rewards <= {3.0, 4.0}
+
+    def test_sample_from_empty_raises(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            ReplayBuffer(4).sample(1, rng)
+
+    def test_trajectory_window(self):
+        buffer = ReplayBuffer(100, trajectory_window=2)
+        for i in range(5):
+            trajectory = Trajectory(task_id=0, final_reward=float(i))
+            trajectory.append(make_transition())
+            buffer.add_trajectory(trajectory)
+        recent = buffer.recent_trajectories()
+        assert [t.final_reward for t in recent] == [3.0, 4.0]
+
+    def test_recent_trajectories_subset(self):
+        buffer = ReplayBuffer(100, trajectory_window=8)
+        for i in range(5):
+            buffer.add_trajectory(Trajectory(task_id=0, final_reward=float(i)))
+        assert [t.final_reward for t in buffer.recent_trajectories(2)] == [3.0, 4.0]
+
+    def test_add_trajectory_stores_transitions(self):
+        buffer = ReplayBuffer(10)
+        trajectory = Trajectory(task_id=0)
+        trajectory.append(make_transition())
+        trajectory.append(make_transition())
+        buffer.add_trajectory(trajectory)
+        assert len(buffer) == 2
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+
+class TestReplayRegistry:
+    def test_lazily_creates_buffers(self):
+        registry = ReplayRegistry(capacity=10)
+        assert 3 not in registry
+        registry.buffer(3)
+        assert 3 in registry
+        assert len(registry) == 1
+
+    def test_same_buffer_returned(self):
+        registry = ReplayRegistry(capacity=10)
+        assert registry.buffer(1) is registry.buffer(1)
+
+    def test_non_empty_filter(self):
+        registry = ReplayRegistry(capacity=10)
+        registry.buffer(1)
+        registry.buffer(2).add(make_transition())
+        assert registry.task_ids() == [1, 2]
+        assert registry.non_empty_task_ids() == [2]
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule(0.3)(100) == 0.3
+
+    def test_linear_endpoints(self):
+        schedule = LinearDecay(1.0, 0.1, 100)
+        assert schedule(0) == 1.0
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(1_000_000) == pytest.approx(0.1)
+
+    def test_linear_midpoint(self):
+        assert LinearDecay(1.0, 0.0, 10)(5) == pytest.approx(0.5)
+
+    def test_exponential_decays_towards_end(self):
+        schedule = ExponentialDecay(1.0, 0.1, tau=10)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(1000) == pytest.approx(0.1, abs=1e-6)
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError, match="step"):
+            ConstantSchedule(0.1)(-1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            LinearDecay(1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, 0.0, tau=0.0)
