@@ -19,21 +19,29 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from dataclasses import replace
 
 import numpy as np
 
+from repro import __version__
 from repro.core.pafeat import PAFeat
 from repro.data.catalog import DATASETS, dataset_names
 from repro.experiments.runner import load_suite, make_config
+
+#: Exit code for a run stopped by SIGINT/SIGTERM (after the checkpoint flush).
+EXIT_INTERRUPTED = 130
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PA-FEAT reproduction: fast feature selection via MT-DRL",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -47,6 +55,28 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--iterations", type=int, default=None, help="override iteration count")
     train.add_argument("--mfr", type=float, default=0.6, help="max feature ratio")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="flush crash-safe training checkpoints to this directory",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="iterations between checkpoints (default: config checkpoint_every)",
+    )
+    train.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        help="how many checkpoints to retain (default: 3)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir",
+    )
 
     select = subparsers.add_parser("select", help="select features with a saved model")
     select.add_argument("--model", required=True, help="model directory from `train`")
@@ -81,8 +111,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.io import save_model
+    from repro.io import TrainingInterrupted, save_model
 
+    if args.resume and args.checkpoint_dir is None:
+        raise ValueError("--resume requires --checkpoint-dir")
     suite = load_suite(args.dataset, args.scale)
     train, _ = suite.split_rows(0.7, np.random.default_rng(args.seed))
     config = make_config(args.scale, mfr=args.mfr, seed=args.seed)
@@ -91,11 +123,71 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"training on {train.n_seen} seen tasks of {suite.name} "
           f"({config.n_iterations} iterations)...")
     start = time.perf_counter()
-    model = PAFeat(config).fit(train)
+    with _graceful_shutdown() as stop_requested:
+        try:
+            model = PAFeat(config).fit(
+                train,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                keep_last=args.keep_last,
+                resume=args.resume,
+                stop_check=stop_requested if args.checkpoint_dir else None,
+            )
+        except TrainingInterrupted as exc:
+            where = (
+                f"checkpoint flushed to {exc.checkpoint_path}"
+                if exc.checkpoint_path
+                else "no checkpoint directory configured"
+            )
+            print(
+                f"interrupted at iteration {exc.iteration}; {where}. "
+                f"Re-run with --resume to continue.",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
     print(f"trained in {time.perf_counter() - start:.1f}s")
     directory = save_model(model, args.output)
     print(f"model saved to {directory}")
     return 0
+
+
+class _graceful_shutdown:
+    """Context manager turning SIGINT/SIGTERM into a polled stop flag.
+
+    Inside the block the first signal only *requests* a stop — the training
+    loop notices it at the next iteration boundary, flushes a final
+    checkpoint and raises ``TrainingInterrupted``.  The handlers are always
+    restored on exit.  Entering yields a zero-arg callable returning
+    whether a stop was requested (the ``stop_check`` contract of
+    :meth:`PAFeat.fit`).
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __enter__(self):
+        self._stop = False
+        self._previous = {}
+
+        def handler(signum, frame):
+            del frame
+            self._stop = True
+            print(
+                f"received {signal.Signals(signum).name}; finishing the current "
+                f"iteration and flushing a checkpoint...",
+                file=sys.stderr,
+            )
+
+        for signum in self.SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(signum, handler)
+            except ValueError:  # non-main thread (e.g. embedded use): poll only
+                pass
+        return lambda: self._stop
+
+    def __exit__(self, *exc_info):
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        return False
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
@@ -145,9 +237,18 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Expected failures (bad inputs, missing/corrupt artifacts) surface as a
+    one-line ``error:`` message on stderr and a nonzero exit code rather
+    than a traceback; genuine bugs still propagate loudly.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, RuntimeError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -159,6 +159,77 @@ class ETree:
             node = node.children[action]
         return node.state
 
+    # ------------------------------------------------------------------
+    # Durable checkpointing
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Flatten the tree into parallel arrays (BFS order).
+
+        Node states are not stored: a child's :class:`EnvState` is fully
+        determined by its parent's state and the edge action, exactly as
+        :meth:`add_trajectory` builds it.  BFS enumerates each node's
+        children in insertion order, so :meth:`restore_state` reproduces
+        the ``children`` dict ordering — which matters because UCT
+        tie-breaking iterates that dict.
+        """
+        parents: list[int] = [-1]
+        actions: list[int] = [-1]
+        visits: list[int] = [self.root.visits]
+        value_sums: list[float] = [self.root.value_sum]
+        queue: list[tuple[int, ETreeNode]] = [(0, self.root)]
+        cursor = 0
+        while cursor < len(queue):
+            index, node = queue[cursor]
+            cursor += 1
+            for action, child in node.children.items():
+                child_index = len(parents)
+                parents.append(index)
+                actions.append(action)
+                visits.append(child.visits)
+                value_sums.append(child.value_sum)
+                queue.append((child_index, child))
+        arrays = {
+            "parents": np.array(parents, dtype=np.int64),
+            "actions": np.array(actions, dtype=np.int64),
+            "visits": np.array(visits, dtype=np.int64),
+            "value_sums": np.array(value_sums, dtype=np.float64),
+        }
+        return {"n_nodes": self.n_nodes}, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Rebuild the tree from :meth:`capture_state` arrays."""
+        parents = arrays["parents"]
+        actions = arrays["actions"]
+        visits = arrays["visits"]
+        value_sums = arrays["value_sums"]
+        self.root = ETreeNode(
+            EnvState(selected=(), position=0),
+            visits=int(visits[0]),
+            value_sum=float(value_sums[0]),
+        )
+        nodes = [self.root]
+        for i in range(1, len(parents)):
+            parent = nodes[int(parents[i])]
+            action = int(actions[i])
+            selected = (
+                parent.state.selected + (parent.state.position,)
+                if action == 1
+                else parent.state.selected
+            )
+            child = ETreeNode(
+                EnvState(selected=selected, position=parent.state.position + 1),
+                visits=int(visits[i]),
+                value_sum=float(value_sums[i]),
+            )
+            parent.children[action] = child
+            nodes.append(child)
+        self.n_nodes = len(nodes)
+        if self.n_nodes != int(meta.get("n_nodes", self.n_nodes)):
+            raise ValueError(
+                f"E-Tree snapshot inconsistent: {self.n_nodes} nodes decoded, "
+                f"meta says {meta.get('n_nodes')}"
+            )
+
     def best_terminal_subset(self) -> tuple[tuple[int, ...], float] | None:
         """Best-valued deepest path (diagnostics): (subset, mean value)."""
         best: tuple[tuple[int, ...], float] | None = None

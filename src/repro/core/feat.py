@@ -104,6 +104,10 @@ class FEATTrainer:
         self.restart_policy = restart_policy
         self.checkpoint_scorer = checkpoint_scorer
         self.history: list[IterationStats] = []
+        # Best-snapshot tracking lives on the instance (not train() locals)
+        # so it survives checkpoint/resume and spans multiple train() calls.
+        self._best_score: float = -np.inf
+        self._best_snapshot: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Rollouts
@@ -207,7 +211,11 @@ class FEATTrainer:
         self.history.append(stats)
         return stats
 
-    def train(self, n_iterations: int | None = None) -> list[IterationStats]:
+    def train(
+        self,
+        n_iterations: int | None = None,
+        iteration_hook: Callable[[int], None] | None = None,
+    ) -> list[IterationStats]:
         """Run the full Algorithm 1 loop with best-policy checkpointing.
 
         Every ``checkpoint_every`` iterations the greedy policy is scored on
@@ -215,25 +223,113 @@ class FEATTrainer:
         snapshot is restored at the end.  DQN on small reward gaps can drift
         late in training — keeping the best seen-task policy removes that
         failure mode without touching the learning dynamics.
+
+        The evaluation cadence is keyed on the *global* iteration counter
+        (``len(self.history)``), so a run resumed from a checkpoint
+        evaluates — and consumes RNG — at exactly the same iterations as an
+        uninterrupted run.  ``iteration_hook`` is called with the global
+        iteration number after each iteration (and after any best-policy
+        evaluation); :meth:`repro.core.pafeat.PAFeat.fit` uses it to flush
+        durable checkpoints and to honour stop requests, which it signals
+        by raising (the best-policy restore is then skipped, preserving the
+        mid-training state for the checkpoint).
         """
         total = n_iterations if n_iterations is not None else self.config.n_iterations
         if total < 1:
             raise ValueError(f"n_iterations must be >= 1, got {total}")
         start = len(self.history)
         checkpoint_every = max(1, self.config.checkpoint_every)
-        best_score = -np.inf
-        best_snapshot = None
         stats_list = []
         for i in range(total):
             stats_list.append(self.train_iteration(start + i))
-            if (i + 1) % checkpoint_every == 0 or i == total - 1:
+            global_iteration = start + i + 1
+            if global_iteration % checkpoint_every == 0 or i == total - 1:
                 score = self._checkpoint_score()
-                if score > best_score:
-                    best_score = score
-                    best_snapshot = self.agent.save_policy()
-        if best_snapshot is not None:
-            self.agent.load_policy(best_snapshot)
+                if score > self._best_score:
+                    self._best_score = score
+                    self._best_snapshot = self.agent.save_policy()
+            if iteration_hook is not None:
+                iteration_hook(global_iteration)
+        self.apply_best_snapshot()
         return stats_list
+
+    def apply_best_snapshot(self) -> None:
+        """Load the best-scoring policy seen so far into the agent (if any)."""
+        if self._best_snapshot is not None:
+            self.agent.load_policy(self._best_snapshot)
+
+    # ------------------------------------------------------------------
+    # Durable checkpointing (crash/resume)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Complete training state as a ``(json_meta, arrays)`` payload.
+
+        Covers everything :meth:`restore_state` needs to continue the run
+        bit-identically: the agent's full learning state (networks, Adam
+        moments, counters, RNG), every per-task replay buffer with its
+        trajectory tail, the training-loop RNG stream, the iteration
+        history and the best-snapshot-so-far.  Capture is passive — it
+        draws no random numbers — so checkpointed and checkpoint-free runs
+        follow identical RNG streams.
+        """
+        from dataclasses import asdict
+
+        from repro.io.checkpoint import rng_state
+
+        arrays: dict[str, np.ndarray] = {}
+        agent_meta, agent_arrays = self.agent.capture_state()
+        for name, value in agent_arrays.items():
+            arrays[f"agent/{name}"] = value
+        registry_meta, registry_arrays = self.registry.capture_state()
+        for name, value in registry_arrays.items():
+            arrays[f"replay/{name}"] = value
+        if self._best_snapshot is not None:
+            for name, value in self._best_snapshot.items():
+                arrays[f"best/{name}"] = value
+        meta = {
+            "iteration": len(self.history),
+            "history": [asdict(stats) for stats in self.history],
+            "rng": rng_state(self._rng),
+            "agent": agent_meta,
+            "replay": registry_meta,
+            "best_score": None if np.isneginf(self._best_score) else self._best_score,
+            "has_best_snapshot": self._best_snapshot is not None,
+        }
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot captured by :meth:`capture_state`."""
+        from repro.io.checkpoint import set_rng_state
+
+        def sub(prefix: str) -> dict[str, np.ndarray]:
+            return {
+                name[len(prefix):]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+
+        self.agent.restore_state(meta["agent"], sub("agent/"))
+        self.registry.restore_state(meta["replay"], sub("replay/"))
+        set_rng_state(self._rng, meta["rng"])
+        self.history = [
+            IterationStats(
+                iteration=int(stats["iteration"]),
+                episodes=int(stats["episodes"]),
+                mean_loss=float(stats["mean_loss"]),
+                rewards_per_task={
+                    int(k): float(v) for k, v in stats["rewards_per_task"].items()
+                },
+                task_probabilities={
+                    int(k): float(v)
+                    for k, v in stats.get("task_probabilities", {}).items()
+                },
+            )
+            for stats in meta["history"]
+        ]
+        self._best_score = (
+            -np.inf if meta.get("best_score") is None else float(meta["best_score"])
+        )
+        self._best_snapshot = sub("best/") if meta.get("has_best_snapshot") else None
 
     def _checkpoint_score(self) -> float:
         """Score the current greedy policy for best-snapshot selection."""

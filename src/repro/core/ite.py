@@ -64,6 +64,47 @@ class IntraTaskExplorer:
         """Fold a finished episode back into the task's E-Tree."""
         self.tree(task_id).add_trajectory(trajectory, start=start)
 
+    # ------------------------------------------------------------------
+    # Durable checkpointing
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple[dict, dict[str, "np.ndarray"]]:
+        """Snapshot per-task E-Trees, counters and the restart-RNG stream."""
+        from repro.io.checkpoint import rng_state
+
+        meta: dict = {
+            "invocations": self.invocations,
+            "customised_starts": self.customised_starts,
+            "rng": rng_state(self._rng),
+            "trees": {},
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for task_id, tree in self._trees.items():
+            tree_meta, tree_arrays = tree.capture_state()
+            meta["trees"][str(task_id)] = tree_meta
+            for name, value in tree_arrays.items():
+                arrays[f"tree/{task_id}/{name}"] = value
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, "np.ndarray"]) -> None:
+        """Restore a snapshot captured by :meth:`capture_state`."""
+        from repro.io.checkpoint import set_rng_state
+
+        self.invocations = int(meta["invocations"])
+        self.customised_starts = int(meta["customised_starts"])
+        set_rng_state(self._rng, meta["rng"])
+        self._trees.clear()
+        for key, tree_meta in meta.get("trees", {}).items():
+            task_id = int(key)
+            prefix = f"tree/{task_id}/"
+            self.tree(task_id).restore_state(
+                tree_meta,
+                {
+                    name[len(prefix):]: value
+                    for name, value in arrays.items()
+                    if name.startswith(prefix)
+                },
+            )
+
     @property
     def exploration_policy_is_learned(self) -> bool:
         """True when episodes from customised states follow the learned policy."""

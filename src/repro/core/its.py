@@ -18,13 +18,17 @@ resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.core.config import ITSConfig
 from repro.rl.replay import ReplayRegistry
 from repro.rl.transition import Trajectory
+
+# Bound on the persisted probe-telemetry history (collect_progress calls).
+PROGRESS_HISTORY_WINDOW = 256
 
 
 @dataclass(frozen=True)
@@ -92,6 +96,12 @@ class InterTaskScheduler:
         self.n_features = n_features
         self.config = config
         self.last_progress: list[TaskProgress] = []
+        # Rolling telemetry of the distance-ratio / uncertainty probes —
+        # persisted in checkpoints so a resumed run keeps its progress
+        # picture across restarts (and dashboards keep their history).
+        self.progress_history: deque[list[TaskProgress]] = deque(
+            maxlen=PROGRESS_HISTORY_WINDOW
+        )
 
     def collect_progress(self, registry: ReplayRegistry) -> list[TaskProgress]:
         """Information Collecting Phase (Eqn. 4) for every seen task."""
@@ -111,6 +121,7 @@ class InterTaskScheduler:
                 )
             )
         self.last_progress = progress
+        self.progress_history.append(progress)
         return progress
 
     def probabilities(self, registry: ReplayRegistry) -> np.ndarray:
@@ -137,3 +148,22 @@ class InterTaskScheduler:
         probabilities = self.probabilities(registry)
         index = rng.choice(len(self.task_ids), p=probabilities)
         return self.task_ids[int(index)]
+
+    # ------------------------------------------------------------------
+    # Durable checkpointing
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Snapshot the probe telemetry (JSON-able; the ITS holds no RNG)."""
+        return {
+            "last_progress": [asdict(p) for p in self.last_progress],
+            "progress_history": [
+                [asdict(p) for p in snapshot] for snapshot in self.progress_history
+            ],
+        }
+
+    def restore_state(self, meta: dict) -> None:
+        """Restore telemetry captured by :meth:`capture_state`."""
+        self.last_progress = [TaskProgress(**p) for p in meta.get("last_progress", [])]
+        self.progress_history.clear()
+        for snapshot in meta.get("progress_history", []):
+            self.progress_history.append([TaskProgress(**p) for p in snapshot])

@@ -18,6 +18,8 @@ Ablation switches (``use_its``, ``use_ite``,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -61,8 +63,34 @@ class PAFeat:
     # ------------------------------------------------------------------
     # Training on seen tasks
     # ------------------------------------------------------------------
-    def fit(self, suite: TaskSuite, n_iterations: int | None = None) -> "PAFeat":
-        """Generalise knowledge from the suite's seen tasks (Algorithm 1)."""
+    def fit(
+        self,
+        suite: TaskSuite,
+        n_iterations: int | None = None,
+        *,
+        checkpoint_dir: "str | Path | None" = None,
+        checkpoint_every: int | None = None,
+        keep_last: int = 3,
+        resume: bool = False,
+        stop_check: "Callable[[], bool] | None" = None,
+    ) -> "PAFeat":
+        """Generalise knowledge from the suite's seen tasks (Algorithm 1).
+
+        Crash safety: with ``checkpoint_dir`` set, the complete training
+        state (networks, optimizer, replay buffers, ITS/ITE statistics,
+        RNG streams, best-snapshot-so-far) is flushed atomically every
+        ``checkpoint_every`` iterations (default: the config's
+        ``checkpoint_every``), keeping the last ``keep_last`` checkpoints.
+        With ``resume=True`` the deterministic setup (reward-classifier
+        pretraining, environments) is rebuilt from the same seed, then the
+        latest *valid* checkpoint — corrupt ones are detected and skipped —
+        is restored and training continues from its iteration; the resumed
+        run reproduces the uninterrupted run's RNG streams exactly.
+
+        ``stop_check`` is polled once per iteration (e.g. a SIGTERM flag);
+        when it returns True a final checkpoint is flushed and
+        :class:`~repro.io.checkpoint.TrainingInterrupted` is raised.
+        """
         if not suite.seen_tasks:
             raise ValueError("suite has no seen tasks to learn from")
         self._suite = suite
@@ -124,7 +152,51 @@ class PAFeat:
             np.random.default_rng(self._seed_sequence.spawn(1)[0]),
             **trainer_kwargs,
         )
-        self.trainer.train(n_iterations if n_iterations is not None else config.n_iterations)
+
+        total = n_iterations if n_iterations is not None else config.n_iterations
+        manager = None
+        if checkpoint_dir is not None:
+            from repro.io.checkpoint import CheckpointManager
+
+            manager = CheckpointManager(checkpoint_dir, keep_last=keep_last)
+        start_iteration = 0
+        if resume:
+            if manager is None:
+                raise ValueError("resume=True requires checkpoint_dir")
+            loaded = manager.latest_valid()
+            if loaded is not None:
+                self._restore_training_state(loaded.meta, loaded.arrays)
+                start_iteration = loaded.iteration
+
+        iteration_hook = None
+        if manager is not None or stop_check is not None:
+            every = max(
+                1,
+                checkpoint_every
+                if checkpoint_every is not None
+                else config.checkpoint_every,
+            )
+
+            def iteration_hook(global_iteration: int) -> None:
+                from repro.io.checkpoint import TrainingInterrupted
+
+                stopping = stop_check is not None and stop_check()
+                path = None
+                if manager is not None and (
+                    stopping or global_iteration % every == 0 or global_iteration >= total
+                ):
+                    meta, arrays = self._capture_training_state()
+                    path = manager.save(global_iteration, meta, arrays)
+                if stopping:
+                    raise TrainingInterrupted(global_iteration, path)
+
+        remaining = total - start_iteration
+        if remaining > 0:
+            self.trainer.train(remaining, iteration_hook=iteration_hook)
+        else:
+            # The checkpoint already covers the requested horizon; just
+            # finalise as train() would (best-policy restore).
+            self.trainer.apply_best_snapshot()
         return self
 
     # ------------------------------------------------------------------
@@ -238,6 +310,73 @@ class PAFeat:
                 )
         trainer.agent.load_policy(best_snapshot)
         return records
+
+    # ------------------------------------------------------------------
+    # Durable checkpointing (crash/resume)
+    # ------------------------------------------------------------------
+    def _capture_training_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Full training state across trainer, explorer and scheduler."""
+        from repro.io.checkpoint import rng_state
+
+        trainer = self._require_fitted()
+        arrays: dict[str, np.ndarray] = {}
+        trainer_meta, trainer_arrays = trainer.capture_state()
+        for name, value in trainer_arrays.items():
+            arrays[f"trainer/{name}"] = value
+        meta: dict = {
+            "trainer": trainer_meta,
+            "model_rng": rng_state(self._rng),
+            "n_features": self._n_features,
+        }
+        if self.explorer is not None:
+            explorer_meta, explorer_arrays = self.explorer.capture_state()
+            meta["explorer"] = explorer_meta
+            for name, value in explorer_arrays.items():
+                arrays[f"explorer/{name}"] = value
+        if self.scheduler is not None:
+            meta["scheduler"] = self.scheduler.capture_state()
+        return meta, arrays
+
+    def _restore_training_state(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Restore a payload from :meth:`_capture_training_state`.
+
+        Must be called after the deterministic :meth:`fit` setup has built
+        the trainer/explorer/scheduler for the *same* suite and config; the
+        restored state then overwrites their freshly initialised weights,
+        buffers, statistics and RNG streams.
+        """
+        from repro.io.checkpoint import CheckpointError, set_rng_state
+
+        trainer = self._require_fitted()
+        if meta.get("n_features") != self._n_features:
+            raise CheckpointError(
+                f"checkpoint was taken on a {meta.get('n_features')}-feature "
+                f"suite; this fit has {self._n_features} features"
+            )
+
+        def sub(prefix: str) -> dict[str, np.ndarray]:
+            return {
+                name[len(prefix):]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+
+        trainer.restore_state(meta["trainer"], sub("trainer/"))
+        set_rng_state(self._rng, meta["model_rng"])
+        if "explorer" in meta:
+            if self.explorer is None:
+                raise CheckpointError(
+                    "checkpoint contains ITE state but use_ite is disabled"
+                )
+            self.explorer.restore_state(meta["explorer"], sub("explorer/"))
+        if "scheduler" in meta:
+            if self.scheduler is None:
+                raise CheckpointError(
+                    "checkpoint contains ITS state but use_its is disabled"
+                )
+            self.scheduler.restore_state(meta["scheduler"])
 
     # ------------------------------------------------------------------
     # Internals

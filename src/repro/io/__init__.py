@@ -1,18 +1,35 @@
-"""Persistence: save trained selectors and datasets to disk.
+"""Persistence: save trained selectors, datasets and checkpoints to disk.
 
 A production deployment trains PA-FEAT offline (hours), then serves
 unseen-task selections online (milliseconds).  This package provides the
-artifact handoff between those phases:
+artifact handoff between those phases — and the crash safety a long
+training run demands:
 
 * :func:`save_model` / :func:`load_model` — the trained Q-network plus the
   minimal inference context (config, feature-correlation matrix), as a
-  directory of ``config.json`` + ``weights.npz``.
+  directory of ``config.json`` + ``weights.npz`` + ``manifest.json``
+  (SHA-256 checksums), written atomically and validated on load.
 * :func:`save_suite_csv` / :func:`load_suite_csv` — a
   :class:`~repro.data.tasks.TaskSuite` as a flat CSV (features + label
   columns) plus a JSON sidecar with the seen/unseen partition, so real
   tabular exports can be dropped into the pipeline.
+* :class:`CheckpointManager` and the atomic-write helpers
+  (:mod:`repro.io.checkpoint`) — durable, corruption-detecting training
+  checkpoints behind ``PAFeat.fit(checkpoint_dir=..., resume=True)``.
+* :mod:`repro.io.faults` — fault-injection primitives (simulated crashes,
+  truncation, bit flips) for drilling the recovery path.
 """
 
+from repro.io.checkpoint import (
+    Checkpoint,
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointManager,
+    TrainingInterrupted,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+)
 from repro.io.serialization import (
     load_model,
     load_suite_csv,
@@ -20,4 +37,17 @@ from repro.io.serialization import (
     save_suite_csv,
 )
 
-__all__ = ["load_model", "load_suite_csv", "save_model", "save_suite_csv"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointManager",
+    "TrainingInterrupted",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "load_model",
+    "load_suite_csv",
+    "save_model",
+    "save_suite_csv",
+]

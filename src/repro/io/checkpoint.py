@@ -1,0 +1,340 @@
+"""Crash-safe checkpointing: atomic artifact I/O and checkpoint retention.
+
+Long multi-task training runs are PA-FEAT's whole value proposition — the
+cost of Algorithm 1 is amortised across every future unseen task — so an
+interrupted run must never lose its progress.  This module provides the
+durable layer underneath :meth:`repro.core.pafeat.PAFeat.fit`:
+
+* **Atomic writes** (:func:`atomic_write_bytes` and friends): artifacts are
+  written to a temporary path in the destination directory, flushed and
+  fsynced, then published with ``os.replace``.  A crash at any point leaves
+  either the previous artifact or no artifact — never a half-written file.
+* **Checkpoints** (:class:`CheckpointManager`): one directory per
+  checkpoint (``ckpt-00000042/``) holding ``state.json`` (counters, RNG
+  states, telemetry), ``arrays.npz`` (network weights, optimizer moments,
+  replay transitions) and a ``manifest.json`` carrying a SHA-256 checksum
+  per artifact.  The manifest is written last, so a checkpoint without a
+  valid manifest is by definition incomplete and is skipped.
+* **Corruption detection**: :meth:`CheckpointManager.latest_valid` walks
+  checkpoints newest-first, verifies checksums, and falls back to the
+  newest checkpoint that passes — truncated or bit-flipped artifacts are
+  reported (``logging`` + :attr:`CheckpointManager.skipped`) and ignored.
+* **Retention**: a keep-last-K policy prunes old checkpoints after each
+  successful save.
+
+The manager is payload-agnostic: it stores a JSON-able ``meta`` dict plus a
+``{name: ndarray}`` array mapping.  The training stack's
+``capture_state()`` / ``restore_state()`` methods produce and consume that
+payload (see :meth:`repro.core.feat.FEATTrainer.capture_state`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import logging
+import os
+import re
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+CHECKPOINT_FORMAT_VERSION = 1
+STATE_NAME = "state.json"
+ARRAYS_NAME = "arrays.npz"
+MANIFEST_NAME = "manifest.json"
+
+_CKPT_PATTERN = re.compile(r"^ckpt-(\d{8})$")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint persistence failures."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint artifact is missing, truncated or checksum-mismatched."""
+
+
+class TrainingInterrupted(RuntimeError):
+    """Raised when a stop request ends training early.
+
+    Carries the iteration the run stopped at and, when checkpointing was
+    active, the path of the final flushed checkpoint so callers (e.g. the
+    CLI's SIGTERM handler) can report where to resume from.
+    """
+
+    def __init__(self, iteration: int, checkpoint_path: Path | None = None):
+        self.iteration = iteration
+        self.checkpoint_path = checkpoint_path
+        suffix = f"; checkpoint flushed to {checkpoint_path}" if checkpoint_path else ""
+        super().__init__(f"training interrupted at iteration {iteration}{suffix}")
+
+
+# ---------------------------------------------------------------------------
+# RNG state round trips
+# ---------------------------------------------------------------------------
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """A generator's bit-generator state as a JSON-able dict."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`rng_state` (exact stream resume)."""
+    if state.get("bit_generator") != type(rng.bit_generator).__name__:
+        raise CheckpointError(
+            f"RNG mismatch: checkpoint holds {state.get('bit_generator')!r} state "
+            f"but the generator is {type(rng.bit_generator).__name__!r}"
+        )
+    rng.bit_generator.state = state
+
+
+# ---------------------------------------------------------------------------
+# Atomic artifact I/O
+# ---------------------------------------------------------------------------
+
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str | Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry so a rename survives power loss (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically: temp file → fsync → replace.
+
+    A crash before the final ``os.replace`` leaves the previous content of
+    ``path`` (or nothing) in place; readers never observe a partial write.
+    """
+    path = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_json(path: str | Path, obj) -> Path:
+    return atomic_write_bytes(path, json.dumps(obj, indent=2).encode("utf-8"))
+
+
+def atomic_write_npz(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint store
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A validated, fully loaded checkpoint."""
+
+    path: Path
+    iteration: int
+    meta: dict
+    arrays: dict[str, np.ndarray] = field(repr=False)
+
+
+class CheckpointManager:
+    """Durable store of training checkpoints under one directory.
+
+    Each checkpoint is staged in a hidden ``.staging-*`` directory, written
+    artifact-by-artifact with atomic file writes, then published with a
+    single directory rename — so the ``ckpt-*`` namespace only ever
+    contains checkpoints whose every artifact hit the disk, and a crash at
+    any point during :meth:`save` is invisible to :meth:`latest_valid`.
+    """
+
+    def __init__(self, directory: str | Path, keep_last: int = 3):
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        #: corrupt/incomplete checkpoints seen by :meth:`latest_valid`,
+        #: as ``(path, reason)`` pairs — surfaced for observability.
+        self.skipped: list[tuple[Path, str]] = []
+
+    # -- enumeration ----------------------------------------------------
+    def checkpoint_paths(self) -> list[Path]:
+        """Published checkpoint directories, oldest → newest."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _CKPT_PATTERN.match(entry.name)
+            if match and entry.is_dir():
+                found.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(found)]
+
+    # -- write ----------------------------------------------------------
+    def save(self, iteration: int, meta: dict, arrays: dict[str, np.ndarray]) -> Path:
+        """Publish one checkpoint atomically and prune old ones."""
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        name = f"ckpt-{iteration:08d}"
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".staging-{name}-", dir=self.directory)
+        )
+        try:
+            state_doc = {
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "iteration": iteration,
+                "meta": meta,
+            }
+            atomic_write_json(staging / STATE_NAME, state_doc)
+            atomic_write_npz(staging / ARRAYS_NAME, arrays)
+            manifest = {
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "iteration": iteration,
+                "artifacts": {
+                    artifact: {
+                        "sha256": sha256_file(staging / artifact),
+                        "bytes": (staging / artifact).stat().st_size,
+                    }
+                    for artifact in (STATE_NAME, ARRAYS_NAME)
+                },
+            }
+            atomic_write_json(staging / MANIFEST_NAME, manifest)
+            final = self.directory / name
+            if final.exists():
+                # Re-saving an iteration (e.g. resuming over a corrupt
+                # checkpoint): retire the old directory out of the visible
+                # namespace first, then publish.
+                retired = Path(
+                    tempfile.mkdtemp(prefix=f".retired-{name}-", dir=self.directory)
+                )
+                os.replace(final, retired / name)
+                shutil.rmtree(retired, ignore_errors=True)
+            os.replace(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        fsync_directory(self.directory)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        """Keep the newest ``keep_last`` checkpoints; drop stale staging dirs."""
+        paths = self.checkpoint_paths()
+        for stale in paths[: -self.keep_last]:
+            shutil.rmtree(stale, ignore_errors=True)
+        for entry in self.directory.iterdir():
+            if entry.name.startswith((".staging-", ".retired-")) and entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+
+    # -- read -----------------------------------------------------------
+    def validate(self, path: str | Path) -> dict:
+        """Check one checkpoint's manifest and checksums; return the manifest.
+
+        Raises :class:`CheckpointCorruptionError` describing the first
+        problem found (missing artifact, size mismatch, checksum mismatch,
+        unreadable manifest, unsupported format version).
+        """
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CheckpointCorruptionError(
+                f"{path.name}: missing {MANIFEST_NAME} (incomplete checkpoint)"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptionError(
+                f"{path.name}: unreadable manifest ({exc})"
+            ) from exc
+        if manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointCorruptionError(
+                f"{path.name}: unsupported checkpoint format "
+                f"{manifest.get('format_version')!r} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        for artifact, expected in manifest.get("artifacts", {}).items():
+            artifact_path = path / artifact
+            if not artifact_path.exists():
+                raise CheckpointCorruptionError(f"{path.name}: missing {artifact}")
+            size = artifact_path.stat().st_size
+            if size != expected.get("bytes"):
+                raise CheckpointCorruptionError(
+                    f"{path.name}: {artifact} is {size} bytes, "
+                    f"manifest expects {expected.get('bytes')} (truncated?)"
+                )
+            digest = sha256_file(artifact_path)
+            if digest != expected.get("sha256"):
+                raise CheckpointCorruptionError(
+                    f"{path.name}: {artifact} checksum mismatch "
+                    f"({digest[:12]}… != {str(expected.get('sha256'))[:12]}…)"
+                )
+        return manifest
+
+    def load(self, path: str | Path) -> Checkpoint:
+        """Validate and fully load one checkpoint."""
+        path = Path(path)
+        manifest = self.validate(path)
+        try:
+            state_doc = json.loads((path / STATE_NAME).read_text())
+            with np.load(path / ARRAYS_NAME) as handle:
+                arrays = {key: handle[key] for key in handle.files}
+        except Exception as exc:  # any decode failure ⇒ corrupt artifact
+            raise CheckpointCorruptionError(
+                f"{path.name}: failed to decode artifacts ({exc})"
+            ) from exc
+        return Checkpoint(
+            path=path,
+            iteration=int(manifest["iteration"]),
+            meta=state_doc.get("meta", {}),
+            arrays=arrays,
+        )
+
+    def latest_valid(self) -> Checkpoint | None:
+        """The newest checkpoint that passes validation, or ``None``.
+
+        Corrupt or incomplete checkpoints are logged, recorded in
+        :attr:`skipped` and passed over — resume degrades gracefully to the
+        most recent state that is actually trustworthy.
+        """
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                logger.warning("skipping corrupt checkpoint %s: %s", path, exc)
+                self.skipped.append((path, str(exc)))
+        return None

@@ -1,0 +1,78 @@
+"""Fault-injection helpers for crash-safety testing.
+
+Small, dependency-free primitives used by ``tests/test_fault_injection.py``
+to simulate the failure modes the checkpoint subsystem defends against:
+
+* :class:`CrashAt` — a ``stop_check``-style callable that raises
+  :class:`SimulatedCrash` on its N-th invocation, modelling a hard kill
+  (``kill -9`` / OOM / power loss) at training iteration N with **no**
+  opportunity to flush state.
+* :func:`truncate_file` — cut an artifact short, modelling a crash or full
+  disk mid-write on a non-atomic writer.
+* :func:`flip_bit` — flip one bit in place, modelling silent media or
+  transfer corruption that leaves the file length intact.
+
+They live in the library (not the test tree) so downstream deployments can
+reuse them to drill their own recovery procedures.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected failure standing in for a real process/machine crash."""
+
+
+class CrashAt:
+    """Raise :class:`SimulatedCrash` on the ``at_call``-th invocation.
+
+    Passed as ``stop_check`` to :meth:`repro.core.pafeat.PAFeat.fit`, which
+    consults it once per training iteration — so ``CrashAt(7)`` kills the
+    run at iteration 7 before any end-of-iteration checkpoint flush,
+    exactly like an uncatchable signal would.
+    """
+
+    def __init__(self, at_call: int):
+        if at_call < 1:
+            raise ValueError(f"at_call must be >= 1, got {at_call}")
+        self.at_call = at_call
+        self.calls = 0
+
+    def __call__(self) -> bool:
+        self.calls += 1
+        if self.calls >= self.at_call:
+            raise SimulatedCrash(f"injected crash at call {self.calls}")
+        return False
+
+
+def truncate_file(path: str | Path, keep_bytes: int) -> Path:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes."""
+    path = Path(path)
+    if keep_bytes < 0:
+        raise ValueError(f"keep_bytes must be >= 0, got {keep_bytes}")
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(min(keep_bytes, size))
+    return path
+
+
+def flip_bit(path: str | Path, byte_offset: int | None = None, bit: int = 0) -> Path:
+    """Flip one bit of ``path`` in place (default: middle byte, bit 0)."""
+    if not 0 <= bit <= 7:
+        raise ValueError(f"bit must be in [0, 7], got {bit}")
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip a bit in empty file {path}")
+    offset = len(data) // 2 if byte_offset is None else byte_offset
+    if not 0 <= offset < len(data):
+        raise ValueError(f"byte_offset {offset} out of range for {len(data)} bytes")
+    data[offset] ^= 1 << bit
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path

@@ -22,6 +22,11 @@ from repro.core.config import (
     ITSConfig,
     PAFeatConfig,
 )
+from repro.io.checkpoint import (
+    atomic_write_json,
+    atomic_write_npz,
+    sha256_file,
+)
 from repro.core.env import FeatureSelectionEnv
 from repro.core.pafeat import PAFeat
 from repro.core.state import state_dim
@@ -70,13 +75,19 @@ def config_from_dict(data: dict) -> PAFeatConfig:
 def save_model(model: PAFeat, directory: str | Path) -> Path:
     """Persist a fitted model's inference artifact to ``directory``.
 
-    Writes ``config.json`` (format version, config, feature count) and
+    Writes ``config.json`` (format version, config, feature count),
     ``weights.npz`` (the online Q-network parameters plus the
-    feature-correlation matrix used by the state encoding).
+    feature-correlation matrix used by the state encoding) and
+    ``manifest.json`` (SHA-256 checksum per artifact).  Every file is
+    written atomically (temp file → fsync → rename), so a crash mid-save
+    can never leave a half-written artifact where a previous good one
+    stood; weights are validated to be finite before anything is written.
     """
     agent = model.inference_agent()
     if model._n_features is None:
         raise ValueError("model has no feature-space metadata; fit() it first")
+    snapshot = agent.save_policy()
+    _validate_finite_weights(snapshot, context="refusing to save")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
@@ -85,13 +96,69 @@ def save_model(model: PAFeat, directory: str | Path) -> Path:
         "n_features": model._n_features,
         "config": config_to_dict(model.config),
     }
-    (directory / "config.json").write_text(json.dumps(metadata, indent=2))
+    atomic_write_json(directory / "config.json", metadata)
 
-    arrays = {f"param/{k}": v for k, v in agent.save_policy().items()}
+    arrays = {f"param/{k}": v for k, v in snapshot.items()}
     if model._feature_corr is not None:
         arrays["feature_corr"] = model._feature_corr
-    np.savez(directory / "weights.npz", **arrays)
+    atomic_write_npz(directory / "weights.npz", arrays)
+    atomic_write_json(
+        directory / "manifest.json",
+        {
+            "format_version": FORMAT_VERSION,
+            "artifacts": {
+                name: {
+                    "sha256": sha256_file(directory / name),
+                    "bytes": (directory / name).stat().st_size,
+                }
+                for name in ("config.json", "weights.npz")
+            },
+        },
+    )
     return directory
+
+
+def _validate_finite_weights(snapshot: dict, context: str) -> None:
+    """Reject NaN/Inf network parameters — a poisoned artifact is worse
+    than no artifact, because it serves garbage selections silently."""
+    bad = [
+        name
+        for name, value in snapshot.items()
+        if not np.all(np.isfinite(np.asarray(value)))
+    ]
+    if bad:
+        raise ValueError(
+            f"{context}: non-finite (NaN/Inf) values in weights {sorted(bad)}"
+        )
+
+
+def _verify_model_manifest(directory: Path) -> None:
+    """Check artifact checksums when a manifest is present (new artifacts).
+
+    Pre-manifest model directories still load — corruption detection is
+    then limited to what the decoders catch.
+    """
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        return
+    manifest = json.loads(manifest_path.read_text())
+    for name, expected in manifest.get("artifacts", {}).items():
+        artifact = directory / name
+        if not artifact.exists():
+            raise ValueError(f"model artifact {name} is missing from {directory}")
+        size = artifact.stat().st_size
+        if size != expected.get("bytes"):
+            raise ValueError(
+                f"model artifact {name} is {size} bytes, manifest expects "
+                f"{expected.get('bytes')} (truncated write?)"
+            )
+        digest = sha256_file(artifact)
+        if digest != expected.get("sha256"):
+            raise ValueError(
+                f"model artifact {name} failed its checksum "
+                f"({digest[:12]}… != {str(expected.get('sha256'))[:12]}…); "
+                f"the file is corrupt — restore it from a backup or retrain"
+            )
 
 
 def load_model(directory: str | Path) -> PAFeat:
@@ -101,6 +168,9 @@ def load_model(directory: str | Path) -> PAFeat:
     :meth:`PAFeat.select_all_unseen`; to continue training, refit instead.
     """
     directory = Path(directory)
+    if not directory.exists():
+        raise FileNotFoundError(f"model directory {directory} does not exist")
+    _verify_model_manifest(directory)
     metadata = json.loads((directory / "config.json").read_text())
     if metadata.get("format_version") != FORMAT_VERSION:
         raise ValueError(
@@ -117,6 +187,7 @@ def load_model(directory: str | Path) -> PAFeat:
             if key.startswith("param/")
         }
         feature_corr = arrays["feature_corr"] if "feature_corr" in arrays.files else None
+    _validate_finite_weights(snapshot, context="refusing to load")
 
     agent = DuelingDQNAgent(
         state_dim=state_dim(n_features),
@@ -171,6 +242,17 @@ def save_suite_csv(suite: TaskSuite, directory: str | Path) -> Path:
     return directory
 
 
+def _first_non_numeric_row(rows: list[list[str]], n_features: int) -> int:
+    """Line number (1-based, header included) of the first unparsable row."""
+    for line_number, row in enumerate(rows, start=2):
+        try:
+            [float(v) for v in row[:n_features]]
+            [int(v) for v in row[n_features:]]
+        except ValueError:
+            return line_number
+    return 2
+
+
 def load_suite_csv(directory: str | Path) -> TaskSuite:
     """Load a suite written by :func:`save_suite_csv`."""
     directory = Path(directory)
@@ -186,12 +268,27 @@ def load_suite_csv(directory: str | Path) -> TaskSuite:
             f"CSV has {len(header)} columns but the sidecar declares "
             f"{n_features} features plus at least one label"
         )
-    features = np.array(
-        [[float(v) for v in row[:n_features]] for row in rows], dtype=np.float64
-    )
-    labels = np.array(
-        [[int(v) for v in row[n_features:]] for row in rows], dtype=np.int64
-    )
+    # Validate per-row shape up front: ragged or truncated exports must be
+    # reported by row, not surface later as an opaque IndexError/float()
+    # failure.  Data rows start at line 2 (line 1 is the header).
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise ValueError(
+                f"data.csv row at line {line_number} has {len(row)} columns, "
+                f"expected {len(header)} (ragged or truncated file?)"
+            )
+    try:
+        features = np.array(
+            [[float(v) for v in row[:n_features]] for row in rows], dtype=np.float64
+        )
+        labels = np.array(
+            [[int(v) for v in row[n_features:]] for row in rows], dtype=np.int64
+        )
+    except ValueError as exc:
+        offending = _first_non_numeric_row(rows, n_features)
+        raise ValueError(
+            f"data.csv row at line {offending} contains a non-numeric value: {exc}"
+        ) from exc
     table = StructuredTable(
         features,
         labels,

@@ -23,6 +23,13 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def capture_state(self) -> tuple[dict, dict[str, "np.ndarray"]]:
+        """Snapshot optimizer state as ``(json_meta, arrays)`` for checkpoints."""
+        return {}, {}
+
+    def restore_state(self, meta: dict, arrays: dict[str, "np.ndarray"]) -> None:
+        """Restore a snapshot from :meth:`capture_state`."""
+
     def zero_grad(self) -> None:
         for parameter in self.parameters:
             parameter.zero_grad()
@@ -48,6 +55,15 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        arrays = {f"velocity/{i}": v.copy() for i, v in enumerate(self._velocity)}
+        return {"n_parameters": len(self.parameters)}, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        _check_parameter_count(meta, self.parameters)
+        for i, velocity in enumerate(self._velocity):
+            velocity[...] = arrays[f"velocity/{i}"]
 
     def step(self) -> None:
         for parameter, velocity in zip(self.parameters, self._velocity):
@@ -79,6 +95,21 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.value) for p in self.parameters]
         self._v = [np.zeros_like(p.value) for p in self.parameters]
 
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        arrays: dict[str, np.ndarray] = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            arrays[f"m/{i}"] = m.copy()
+            arrays[f"v/{i}"] = v.copy()
+        meta = {"step_count": self._step_count, "n_parameters": len(self.parameters)}
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        _check_parameter_count(meta, self.parameters)
+        self._step_count = int(meta["step_count"])
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            m[...] = arrays[f"m/{i}"]
+            v[...] = arrays[f"v/{i}"]
+
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
@@ -92,3 +123,12 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _check_parameter_count(meta: dict, parameters: Sequence[Parameter]) -> None:
+    captured = meta.get("n_parameters")
+    if captured != len(parameters):
+        raise ValueError(
+            f"optimizer snapshot covers {captured} parameters, "
+            f"this optimizer has {len(parameters)}"
+        )

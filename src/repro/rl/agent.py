@@ -168,3 +168,64 @@ class DuelingDQNAgent:
         """Restore the online network and resync the target."""
         load_state_dict(self.online, snapshot)
         self.sync_target()
+
+    # ------------------------------------------------------------------
+    # Durable checkpointing
+    # ------------------------------------------------------------------
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Complete learning state as ``(json_meta, arrays)``.
+
+        Unlike :meth:`save_policy` (inference weights only), this covers
+        everything needed to *continue training* bit-identically: online
+        and target networks, Adam moments, step counters (which drive the
+        epsilon schedule and target syncs) and the exploration RNG stream.
+        """
+        from repro.io.checkpoint import rng_state
+
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in state_dict(self.online).items():
+            arrays[f"online/{name}"] = value
+        for name, value in state_dict(self.target).items():
+            arrays[f"target/{name}"] = value
+        optim_meta, optim_arrays = self._optimizer.capture_state()
+        for name, value in optim_arrays.items():
+            arrays[f"optim/{name}"] = value
+        meta = {
+            "update_count": self.update_count,
+            "action_count": self.action_count,
+            "optimizer": optim_meta,
+            "rng": rng_state(self._rng),
+        }
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot captured by :meth:`capture_state`."""
+        from repro.io.checkpoint import set_rng_state
+
+        load_state_dict(
+            self.online,
+            {
+                key[len("online/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("online/")
+            },
+        )
+        load_state_dict(
+            self.target,
+            {
+                key[len("target/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("target/")
+            },
+        )
+        self._optimizer.restore_state(
+            meta["optimizer"],
+            {
+                key[len("optim/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("optim/")
+            },
+        )
+        self.update_count = int(meta["update_count"])
+        self.action_count = int(meta["action_count"])
+        set_rng_state(self._rng, meta["rng"])

@@ -69,6 +69,21 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self.last_weights = weights / weights.max()
         return [self._storage[i] for i in indices]
 
+    def capture_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        meta, arrays = super().capture_state()
+        meta["max_priority"] = self._max_priority
+        arrays["priorities"] = np.asarray(self._priorities, dtype=np.float64)
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        super().restore_state(meta, arrays)
+        self._priorities = [float(p) for p in arrays["priorities"]]
+        self._max_priority = float(meta["max_priority"])
+        # Sampling bookkeeping is transient: a checkpoint is taken between
+        # iterations, never between sample() and update_priorities().
+        self.last_indices = None
+        self.last_weights = None
+
     def update_priorities(self, td_errors: np.ndarray) -> None:
         """Refresh the priorities of the most recently sampled batch."""
         if self.last_indices is None:

@@ -2,7 +2,36 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestErrorBoundary:
+    def test_missing_model_directory_is_one_line_error(self, tmp_path, capsys):
+        code = main([
+            "select", "--model", str(tmp_path / "missing"),
+            "--dataset", "water-quality", "--scale", "smoke",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_resume_without_checkpoint_dir_is_rejected(self, tmp_path, capsys):
+        code = main([
+            "train", "--dataset", "water-quality", "--scale", "smoke",
+            "--iterations", "2", "--output", str(tmp_path / "m"), "--resume",
+        ])
+        assert code == 1
+        assert "error: --resume requires --checkpoint-dir" in capsys.readouterr().err
 
 
 class TestInfo:
@@ -39,6 +68,21 @@ class TestTrainAndSelect:
         assert code == 0
         output = capsys.readouterr().out
         assert "features" in output and "ms]" in output
+
+    def test_train_with_checkpoints_then_resume(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpts"
+        base = [
+            "train", "--dataset", "water-quality", "--scale", "smoke",
+            "--iterations", "6", "--output", str(tmp_path / "model"),
+            "--checkpoint-dir", str(checkpoint_dir), "--checkpoint-every", "2",
+        ]
+        assert main(base) == 0
+        assert any(checkpoint_dir.glob("ckpt-*"))
+        capsys.readouterr()
+        # resuming a finished run is a no-op retrain: loads iteration 6,
+        # trains 0 further iterations and re-saves the same model
+        assert main(base + ["--resume"]) == 0
+        assert (tmp_path / "model" / "weights.npz").exists()
 
     def test_select_with_evaluation(self, tmp_path, capsys):
         model_dir = tmp_path / "model"

@@ -1,5 +1,6 @@
 """Tests for model and dataset persistence."""
 
+import copy
 import json
 
 import numpy as np
@@ -7,7 +8,9 @@ import pytest
 
 from repro.core.config import PAFeatConfig
 from repro.core.pafeat import PAFeat
+from repro.data.tasks import TaskSuite
 from repro.io import load_model, load_suite_csv, save_model, save_suite_csv
+from repro.io.faults import flip_bit, truncate_file
 from repro.io.serialization import config_from_dict, config_to_dict
 from tests.conftest import fast_config
 
@@ -55,6 +58,9 @@ class TestModelPersistence:
         metadata = json.loads((directory / "config.json").read_text())
         metadata["format_version"] = 999
         (directory / "config.json").write_text(json.dumps(metadata))
+        # drop the manifest so the (correct) checksum failure doesn't mask
+        # the format-version check this test is about
+        (directory / "manifest.json").unlink()
         with pytest.raises(ValueError, match="unsupported model format"):
             load_model(directory)
 
@@ -64,6 +70,50 @@ class TestModelPersistence:
         restored = load_model(tmp_path / "m")
         with pytest.raises(RuntimeError):
             restored.further_train(train.unseen_tasks[0], 1)
+
+    def test_round_trip_without_feature_corr(self, fitted_tiny_model, tiny_split, tmp_path):
+        train, _ = tiny_split
+        model = copy.copy(fitted_tiny_model)
+        model._feature_corr = None  # e.g. redundancy shaping disabled
+        save_model(model, tmp_path / "m")
+        restored = load_model(tmp_path / "m")
+        assert restored._feature_corr is None
+        assert restored.select(train.unseen_tasks[0])
+
+    def test_manifest_catches_tampered_weights(self, fitted_tiny_model, tmp_path):
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        flip_bit(directory / "weights.npz")
+        with pytest.raises(ValueError, match="checksum"):
+            load_model(directory)
+
+    def test_manifest_catches_truncated_config(self, fitted_tiny_model, tmp_path):
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        truncate_file(directory / "config.json", 8)
+        with pytest.raises(ValueError, match="truncated"):
+            load_model(directory)
+
+    def test_pre_manifest_artifacts_still_load(self, fitted_tiny_model, tiny_split, tmp_path):
+        train, _ = tiny_split
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        (directory / "manifest.json").unlink()  # artifact from an older version
+        restored = load_model(directory)
+        for task in train.unseen_tasks:
+            assert restored.select(task) == fitted_tiny_model.select(task)
+
+    def test_nan_weights_rejected_on_load(self, fitted_tiny_model, tmp_path):
+        directory = save_model(fitted_tiny_model, tmp_path / "m")
+        with np.load(directory / "weights.npz") as handle:
+            arrays = {name: handle[name] for name in handle.files}
+        first_param = next(name for name in arrays if name.startswith("param/"))
+        arrays[first_param] = np.full_like(arrays[first_param], np.nan)
+        np.savez(directory / "weights.npz", **arrays)
+        (directory / "manifest.json").unlink()  # isolate the finite-ness check
+        with pytest.raises(ValueError, match="non-finite"):
+            load_model(directory)
+
+    def test_missing_directory_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope")
 
 
 class TestSuiteCsv:
@@ -101,3 +151,49 @@ class TestSuiteCsv:
         train, _ = restored.split_rows(0.7, np.random.default_rng(0))
         model = PAFeat(fast_config(n_iterations=3)).fit(train)
         assert model.select(train.unseen_tasks[0])
+
+    def test_round_trip_without_ground_truth(self, tiny_suite, tmp_path):
+        suite = TaskSuite(
+            tiny_suite.name,
+            tiny_suite.table,
+            seen_label_indices=[t.label_index for t in tiny_suite.seen_tasks],
+            unseen_label_indices=[t.label_index for t in tiny_suite.unseen_tasks],
+            ground_truth=None,  # real exports rarely know the answer key
+        )
+        save_suite_csv(suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        assert all(t.ground_truth_features is None for t in restored.all_tasks())
+        assert restored.n_seen == suite.n_seen
+
+    def test_round_trip_with_zero_unseen_tasks(self, tiny_suite, tmp_path):
+        suite = TaskSuite(
+            tiny_suite.name,
+            tiny_suite.table,
+            seen_label_indices=[t.label_index for t in tiny_suite.all_tasks()],
+            unseen_label_indices=[],
+        )
+        save_suite_csv(suite, tmp_path / "data")
+        restored = load_suite_csv(tmp_path / "data")
+        assert restored.n_unseen == 0
+        assert restored.n_seen == suite.n_seen
+
+    def test_ragged_row_reported_by_line(self, tiny_suite, tmp_path):
+        directory = save_suite_csv(tiny_suite, tmp_path / "data")
+        csv_path = directory / "data.csv"
+        lines = csv_path.read_text().splitlines()
+        truncated = ",".join(lines[3].split(",")[:-2])  # drop two trailing cells
+        lines[3] = truncated
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="row at line 4"):
+            load_suite_csv(directory)
+
+    def test_non_numeric_cell_reported_by_line(self, tiny_suite, tmp_path):
+        directory = save_suite_csv(tiny_suite, tmp_path / "data")
+        csv_path = directory / "data.csv"
+        lines = csv_path.read_text().splitlines()
+        cells = lines[5].split(",")
+        cells[0] = "not-a-number"
+        lines[5] = ",".join(cells)
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="row at line 6.*non-numeric"):
+            load_suite_csv(directory)
