@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint lint-changed typecheck test test-fault check
+
+## Full static-analysis gate: every repolint rule over src/.
+lint:
+	$(PYTHON) -m tools.repolint src/
+
+## Fast path: only .py files git reports as modified/untracked.
+lint-changed:
+	$(PYTHON) -m tools.repolint --changed src/
+
+## mypy --strict over the library (no-op with a notice if mypy is absent).
+typecheck:
+	@$(PYTHON) -c "import importlib.util,sys; sys.exit(0 if importlib.util.find_spec('mypy') else 1)" \
+		&& $(PYTHON) -m mypy --strict src/repro \
+		|| echo "mypy not installed (pip install -e .[dev]); skipping typecheck"
+
+## Tier-1 suite (excludes the slower fault-injection marker).
+test:
+	$(PYTHON) -m pytest -x -q -m "not fault"
+
+## Fault-injection / crash-safety suite.
+test-fault:
+	$(PYTHON) -m pytest -x -q -m fault
+
+## Everything CI runs.
+check: lint typecheck test test-fault

@@ -1,0 +1,53 @@
+"""Analysis layer: runtime contracts and sanctioned numerical primitives.
+
+Two halves of one correctness story:
+
+* :mod:`repro.analysis.contracts` — env-toggled (``REPRO_CONTRACTS=1``)
+  shape/dtype/finiteness assertions enforced at the FEAT↔agent and eval
+  boundaries; free when disabled.
+* :mod:`repro.analysis.numerics` — the only module permitted (by the
+  ``tools/repolint`` NUM3xx rules) to call raw ``np.exp``/``np.log``/
+  sum-normalisation; everything else uses these clamped helpers.
+"""
+
+from repro.analysis.contracts import (
+    CONTRACTS_ENV_VAR,
+    ContractViolation,
+    check_finite,
+    check_probability_vector,
+    check_scalar_range,
+    check_state_batch,
+    contracts_enabled,
+    set_contracts_enabled,
+)
+from repro.analysis.numerics import (
+    LOG_EPS,
+    MAX_EXP_INPUT,
+    normalized,
+    safe_div,
+    safe_exp,
+    safe_log,
+    safe_xlogy,
+    stable_sigmoid,
+    stable_softmax,
+)
+
+__all__ = [
+    "CONTRACTS_ENV_VAR",
+    "ContractViolation",
+    "LOG_EPS",
+    "MAX_EXP_INPUT",
+    "check_finite",
+    "check_probability_vector",
+    "check_scalar_range",
+    "check_state_batch",
+    "contracts_enabled",
+    "normalized",
+    "safe_div",
+    "safe_exp",
+    "safe_log",
+    "safe_xlogy",
+    "set_contracts_enabled",
+    "stable_sigmoid",
+    "stable_softmax",
+]

@@ -1,0 +1,109 @@
+"""Sanctioned numerically-safe primitives.
+
+This is the one module allowed (by the ``NUM3xx`` repolint rules) to call
+raw ``np.exp`` / ``np.log`` / sum-normalisation: every helper here clamps,
+shifts or masks its input so the result is finite for any finite input.
+Loss, softmax and normalisation code elsewhere in ``repro`` must route
+through these helpers instead of open-coding the primitives.
+
+All helpers are bit-exact drop-ins on inputs that were already safe — e.g.
+``safe_log`` on values ``>= eps`` computes exactly ``np.log``, and
+``stable_softmax`` performs the canonical shift-by-max that well-written
+softmax code already used — so adopting them never changes healthy results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = [
+    "LOG_EPS",
+    "MAX_EXP_INPUT",
+    "normalized",
+    "safe_div",
+    "safe_exp",
+    "safe_log",
+    "safe_xlogy",
+    "stable_sigmoid",
+    "stable_softmax",
+]
+
+#: Smallest probability ``safe_log`` will evaluate — log(1e-12) ≈ -27.6.
+LOG_EPS = 1e-12
+
+#: Largest exponent fed to ``np.exp`` — np.log(np.finfo(float64).max) ≈ 709.78.
+MAX_EXP_INPUT = 709.0
+
+
+def safe_exp(x: ArrayLike) -> NDArray[np.float64]:
+    """``np.exp`` with the input clamped below the float64 overflow point.
+
+    Bit-exact with ``np.exp`` for inputs ``<= 709``; underflow to 0.0 for
+    very negative inputs is IEEE-clean and intentionally not clamped.
+    """
+    return np.exp(np.minimum(np.asarray(x, dtype=np.float64), MAX_EXP_INPUT))
+
+
+def safe_log(x: ArrayLike, eps: float = LOG_EPS) -> NDArray[np.float64]:
+    """``np.log`` with the input clamped to at least ``eps`` (no -inf/nan)."""
+    return np.log(np.maximum(np.asarray(x, dtype=np.float64), eps))
+
+
+def stable_sigmoid(x: ArrayLike) -> NDArray[np.float64]:
+    """Overflow-free logistic function via the standard sign-split identity."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+def stable_softmax(x: ArrayLike, axis: int = -1) -> NDArray[np.float64]:
+    """Shift-by-max softmax: finite for any finite input, rows sum to 1."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    weights = np.exp(shifted)
+    return weights / weights.sum(axis=axis, keepdims=True)
+
+
+def safe_xlogy(x: ArrayLike, y: ArrayLike) -> NDArray[np.float64]:
+    """``x * log(y)`` with the convention ``0 * log(anything) == 0``.
+
+    Entries where ``x == 0`` never evaluate the log (no warnings, no nan),
+    which is exactly the convention entropy/mutual-information sums need.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    x, y = np.broadcast_arrays(x, y)
+    out = np.zeros(x.shape, dtype=np.float64)
+    mask = x != 0.0
+    out[mask] = x[mask] * np.log(y[mask])
+    return out
+
+
+def safe_div(
+    numerator: ArrayLike, denominator: ArrayLike, fill: float = 0.0
+) -> NDArray[np.float64]:
+    """Elementwise division with ``fill`` wherever the denominator is 0."""
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    numerator, denominator = np.broadcast_arrays(numerator, denominator)
+    out = np.full(numerator.shape, fill, dtype=np.float64)
+    mask = denominator != 0.0
+    out[mask] = numerator[mask] / denominator[mask]
+    return out
+
+
+def normalized(weights: ArrayLike) -> NDArray[np.float64]:
+    """Normalise non-negative weights into a probability vector.
+
+    Falls back to the uniform distribution when the total is zero,
+    non-finite or negative — the guard every ``w / w.sum()`` call site
+    needs and rarely writes.  Bit-exact with ``w / w.sum()`` whenever the
+    total is a positive finite float.
+    """
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if weights.size == 0:
+        raise ValueError("cannot normalise an empty weight vector")
+    total = weights.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        return np.full(weights.shape, 1.0 / weights.size)
+    return weights / total

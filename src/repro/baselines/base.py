@@ -31,7 +31,7 @@ class FeatureSelector:
     #: Human-readable method name used in experiment tables.
     name: str = "base"
 
-    def __init__(self, max_feature_ratio: float = 0.6):
+    def __init__(self, max_feature_ratio: float = 0.6) -> None:
         if not 0.0 < max_feature_ratio <= 1.0:
             raise ValueError(
                 f"max_feature_ratio must be in (0, 1], got {max_feature_ratio}"

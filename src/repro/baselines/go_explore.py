@@ -18,6 +18,8 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.analysis.numerics import normalized
+from repro.core.config import PAFeatConfig
 from repro.core.pafeat import PAFeat
 from repro.core.state import EnvState
 from repro.rl.transition import Trajectory
@@ -26,7 +28,7 @@ from repro.rl.transition import Trajectory
 class _Archive:
     """Per-task state archive with count-based restart sampling."""
 
-    def __init__(self, rng: np.random.Generator, max_cells: int = 20_000):
+    def __init__(self, rng: np.random.Generator, max_cells: int = 20_000) -> None:
         self._rng = rng
         self.max_cells = max_cells
         self._cells: dict[EnvState, dict[str, float]] = {}
@@ -63,7 +65,7 @@ class _Archive:
                 for s in states
             ]
         )
-        probabilities = weights / weights.sum()
+        probabilities = normalized(weights)
         index = int(self._rng.choice(len(states), p=probabilities))
         return states[index]
 
@@ -73,9 +75,7 @@ class GoExploreSelector(PAFeat):
 
     name = "go-explore"
 
-    def __init__(self, config=None):
-        from repro.core.config import PAFeatConfig
-
+    def __init__(self, config: PAFeatConfig | None = None) -> None:
         base = config or PAFeatConfig()
         super().__init__(replace(base, use_its=False, use_ite=False))
         self._archives: dict[int, _Archive] = {}

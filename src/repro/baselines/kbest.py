@@ -21,7 +21,7 @@ class KBestSelector(FeatureSelector):
 
     name = "k-best"
 
-    def __init__(self, max_feature_ratio: float = 0.6, n_bins: int = 8):
+    def __init__(self, max_feature_ratio: float = 0.6, n_bins: int = 8) -> None:
         super().__init__(max_feature_ratio)
         self.n_bins = n_bins
 

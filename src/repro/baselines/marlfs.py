@@ -20,12 +20,13 @@ from repro.core.config import ClassifierConfig
 from repro.data.tasks import Task
 from repro.eval.classifier import MaskedMLPClassifier
 from repro.eval.reward import build_task_reward
+from repro.rl.seeding import task_rng
 
 
 class _FeatureAgent:
     """Per-feature two-action Q-learner with its own replay of returns."""
 
-    def __init__(self, learning_rate: float):
+    def __init__(self, learning_rate: float) -> None:
         self.q = np.zeros(2)  # [deselect, select]
         self.learning_rate = learning_rate
         self.visits = np.zeros(2)
@@ -61,7 +62,7 @@ class MARLFSSelector(FeatureSelector):
         epsilon_end: float = 0.05,
         classifier_config: ClassifierConfig | None = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(max_feature_ratio)
         if n_episodes < 1:
             raise ValueError(f"n_episodes must be >= 1, got {n_episodes}")
@@ -73,9 +74,7 @@ class MARLFSSelector(FeatureSelector):
         self.seed = seed
 
     def select(self, task: Task) -> tuple[int, ...]:
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, task.label_index])
-        )
+        rng = task_rng(self.seed, task.label_index)
         config = self.classifier_config
         classifier = MaskedMLPClassifier(
             n_features=task.n_features,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.numerics import normalized
 from repro.baselines.base import FeatureSelector
 from repro.data.stats import (
     feature_redundancy_matrix,
@@ -50,7 +51,7 @@ class GRROSelector(FeatureSelector):
 
     name = "grro-ls"
 
-    def __init__(self, max_feature_ratio: float = 0.6, redundancy_weight: float = 1.0):
+    def __init__(self, max_feature_ratio: float = 0.6, redundancy_weight: float = 1.0) -> None:
         super().__init__(max_feature_ratio)
         if redundancy_weight < 0.0:
             raise ValueError(f"redundancy_weight must be >= 0, got {redundancy_weight}")
@@ -111,7 +112,7 @@ class MDFSSelector(FeatureSelector):
         n_neighbors: int = 5,
         max_rows: int = 500,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(max_feature_ratio)
         if ridge <= 0.0:
             raise ValueError(f"ridge must be positive, got {ridge}")
@@ -184,7 +185,7 @@ class AntTDSelector(FeatureSelector):
         td_learning_rate: float = 0.4,
         heuristic_power: float = 1.0,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(max_feature_ratio)
         if n_ants < 1 or n_generations < 1:
             raise ValueError("n_ants and n_generations must be >= 1")
@@ -226,7 +227,7 @@ class AntTDSelector(FeatureSelector):
         for _ in range(self.n_generations):
             for _ in range(self.n_ants):
                 weights = pheromone * heuristic
-                probabilities = weights / weights.sum()
+                probabilities = normalized(weights)
                 subset = tuple(
                     sorted(rng.choice(m, size=k, replace=False, p=probabilities))
                 )

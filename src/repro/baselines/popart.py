@@ -18,10 +18,12 @@ paper's Table II.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import replace
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.config import PAFeatConfig
 from repro.core.pafeat import PAFeat
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.transition import Transition
@@ -30,7 +32,7 @@ from repro.rl.transition import Transition
 class _RunningStats:
     """Exponential-moving per-task mean/std of TD targets."""
 
-    def __init__(self, beta: float = 3e-2):
+    def __init__(self, beta: float = 3e-2) -> None:
         self.beta = beta
         self.mean = 0.0
         self.mean_sq = 1.0
@@ -50,7 +52,7 @@ class _RunningStats:
 class PopArtAgent(DuelingDQNAgent):
     """Dueling DQN whose TD targets are normalised per task."""
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._stats: dict[int, _RunningStats] = {}
 
@@ -114,17 +116,13 @@ class PopArtSelector(PAFeat):
 
     name = "popart"
 
-    def __init__(self, config=None):
-        from dataclasses import replace
-
-        from repro.core.config import PAFeatConfig
-
+    def __init__(self, config: PAFeatConfig | None = None) -> None:
         base = config or PAFeatConfig()
         # PopArt replaces ITS (its comparison target); ITE is also off so the
         # difference measured is purely scheduling/normalisation strategy.
         super().__init__(replace(base, use_its=False, use_ite=False))
 
-    def _build_agent(self, n_features: int):
+    def _build_agent(self, n_features: int) -> PopArtAgent:
         from repro.core.env import FeatureSelectionEnv
         from repro.core.state import state_dim
         from repro.rl.schedules import LinearDecay

@@ -19,6 +19,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.core.config import PAFeatConfig
 from repro.core.pafeat import PAFeat
 
 
@@ -31,7 +32,7 @@ class _RewardRandomizer:
         scale_spread: float = 0.3,
         additive_noise: float = 0.02,
         resample_every: int = 64,
-    ):
+    ) -> None:
         if scale_spread < 0.0 or additive_noise < 0.0:
             raise ValueError("perturbation magnitudes must be >= 0")
         if resample_every < 1:
@@ -59,9 +60,9 @@ class RewardRandomizationSelector(PAFeat):
 
     name = "rr"
 
-    def __init__(self, config=None, scale_spread: float = 0.3):
-        from repro.core.config import PAFeatConfig
-
+    def __init__(
+        self, config: PAFeatConfig | None = None, scale_spread: float = 0.3
+    ) -> None:
         base = config or PAFeatConfig()
         super().__init__(replace(base, use_its=False, use_ite=False))
         self._randomizer = _RewardRandomizer(

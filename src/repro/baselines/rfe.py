@@ -29,7 +29,7 @@ class RFESelector(FeatureSelector):
         step_fraction: float = 0.25,
         svm_epochs: int = 8,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(max_feature_ratio)
         if not 0.0 < step_fraction < 1.0:
             raise ValueError(f"step_fraction must be in (0, 1), got {step_fraction}")

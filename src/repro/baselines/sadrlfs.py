@@ -23,6 +23,7 @@ from repro.eval.classifier import MaskedMLPClassifier
 from repro.eval.reward import build_task_reward
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.schedules import LinearDecay
+from repro.rl.seeding import task_seed_sequence
 
 
 class SADRLFSSelector(FeatureSelector):
@@ -36,7 +37,7 @@ class SADRLFSSelector(FeatureSelector):
         config: PAFeatConfig | None = None,
         n_iterations: int = 100,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(max_feature_ratio)
         base = config or PAFeatConfig()
         from dataclasses import replace
@@ -52,7 +53,7 @@ class SADRLFSSelector(FeatureSelector):
         self.last_trainer: FEATTrainer | None = None
 
     def select(self, task: Task) -> tuple[int, ...]:
-        seed_sequence = np.random.SeedSequence([self.seed, task.label_index])
+        seed_sequence = task_seed_sequence(self.seed, task.label_index)
         child_seeds = seed_sequence.spawn(4)
 
         classifier_config = self.config.classifier

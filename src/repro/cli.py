@@ -23,6 +23,8 @@ import signal
 import sys
 import time
 from dataclasses import replace
+from types import FrameType
+from typing import Callable
 
 import numpy as np
 
@@ -164,11 +166,11 @@ class _graceful_shutdown:
 
     SIGNALS = (signal.SIGINT, signal.SIGTERM)
 
-    def __enter__(self):
+    def __enter__(self) -> Callable[[], bool]:
         self._stop = False
-        self._previous = {}
+        self._previous: dict[int, object] = {}
 
-        def handler(signum, frame):
+        def handler(signum: int, frame: FrameType | None) -> None:
             del frame
             self._stop = True
             print(
@@ -184,9 +186,9 @@ class _graceful_shutdown:
                 pass
         return lambda: self._stop
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         for signum, previous in self._previous.items():
-            signal.signal(signum, previous)
+            signal.signal(signum, previous)  # type: ignore[arg-type]
         return False
 
 

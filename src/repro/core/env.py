@@ -19,14 +19,17 @@ Intra-Task Explorer restarts episodes from valuable visited states.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
+from repro.analysis.contracts import check_state_batch
 from repro.core.config import EnvConfig
 from repro.core.state import EnvState, encode_state, state_dim
 from repro.eval.reward import RewardFunction
 
 
-def _zero_reward(subset) -> float:
+def _zero_reward(subset: Iterable[int]) -> float:
     """Reward stub for inference-only environments."""
     del subset
     return 0.0
@@ -44,7 +47,7 @@ class FeatureSelectionEnv:
         reward_fn: RewardFunction | None,
         config: EnvConfig,
         feature_corr: np.ndarray | None = None,
-    ):
+    ) -> None:
         self.task_id = task_id
         self.task_representation = np.asarray(
             task_representation, dtype=np.float64
@@ -113,13 +116,14 @@ class FeatureSelectionEnv:
 
     def encode(self) -> np.ndarray:
         """Encode the current logical state as the Q-network input."""
-        return encode_state(
+        encoded = encode_state(
             self.task_representation,
             self.logical_state(),
             self.n_features,
             max_feature_ratio=self.config.max_feature_ratio,
             feature_corr=self.feature_corr,
         )
+        return check_state_batch("env.encode", encoded, self.state_dim)
 
     def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
         """Apply select/deselect for the scanned feature and advance.

@@ -63,7 +63,7 @@ class ETree:
         exploration_constant: float = 1.0,
         size_penalty: float = 0.1,
         max_nodes: int = 50_000,
-    ):
+    ) -> None:
         if n_features < 1:
             raise ValueError(f"n_features must be >= 1, got {n_features}")
         if exploration_constant <= 0.0:

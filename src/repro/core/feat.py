@@ -38,7 +38,7 @@ RewardTransform = Callable[[int, float], float]
 class UniformTaskSampler:
     """Algorithm 1 line 5 default: choose a seen task uniformly."""
 
-    def __init__(self, task_ids: list[int]):
+    def __init__(self, task_ids: list[int]) -> None:
         if not task_ids:
             raise ValueError("need at least one task id")
         self.task_ids = list(task_ids)
@@ -74,7 +74,7 @@ class FEATTrainer:
         reward_transform: RewardTransform | None = None,
         restart_policy: str = "learned",
         checkpoint_scorer: Callable[[dict[int, tuple[int, ...]]], float] | None = None,
-    ):
+    ) -> None:
         if not envs:
             raise ValueError("FEATTrainer needs at least one environment")
         if restart_policy not in ("learned", "random"):

@@ -22,7 +22,7 @@ from repro.rl.transition import Trajectory
 class IntraTaskExplorer:
     """Per-task E-Trees plus the initial-state customisation strategy."""
 
-    def __init__(self, n_features: int, config: ITEConfig, rng: np.random.Generator):
+    def __init__(self, n_features: int, config: ITEConfig, rng: np.random.Generator) -> None:
         self.n_features = n_features
         self.config = config
         self._rng = rng

@@ -23,6 +23,8 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import check_probability_vector
+from repro.analysis.numerics import normalized, stable_softmax
 from repro.core.config import ITSConfig
 from repro.rl.replay import ReplayRegistry
 from repro.rl.transition import Trajectory
@@ -85,7 +87,7 @@ class InterTaskScheduler:
         all_features_scores: dict[int, float],
         n_features: int,
         config: ITSConfig,
-    ):
+    ) -> None:
         if not task_ids:
             raise ValueError("scheduler needs at least one task")
         missing = [t for t in task_ids if t not in all_features_scores]
@@ -136,12 +138,8 @@ class InterTaskScheduler:
             return np.full(n, 1.0 / n)
         zeta = np.array([p.distance_ratio for p in progress])
         xi = np.array([p.uncertainty for p in progress])
-        zeta_norm = zeta / zeta.sum() if zeta.sum() > 0 else np.full(n, 1.0 / n)
-        xi_norm = xi / xi.sum() if xi.sum() > 0 else np.full(n, 1.0 / n)
-        blended = (zeta_norm + xi_norm) / self.config.temperature
-        shifted = blended - blended.max()
-        weights = np.exp(shifted)
-        return weights / weights.sum()
+        blended = (normalized(zeta) + normalized(xi)) / self.config.temperature
+        return check_probability_vector("its.probabilities", stable_softmax(blended), n)
 
     def sample_task(self, registry: ReplayRegistry, rng: np.random.Generator) -> int:
         """Draw one seen task according to the current allocation."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.data.stats import feature_redundancy_matrix, pearson_representation
 from repro.data.tasks import Task, TaskSuite
 from repro.eval.classifier import MaskedMLPClassifier
 from repro.eval.reward import RewardFunction, build_task_reward
+
+if TYPE_CHECKING:
+    from repro.rl.agent import DuelingDQNAgent
 
 
 @dataclass
@@ -46,7 +49,7 @@ class FurtherTrainRecord:
 class PAFeat:
     """Progress-aware multi-task DRL feature selector."""
 
-    def __init__(self, config: PAFeatConfig | None = None):
+    def __init__(self, config: PAFeatConfig | None = None) -> None:
         self.config = config or PAFeatConfig()
         self._seed_sequence = np.random.SeedSequence(self.config.seed)
         self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
@@ -385,7 +388,9 @@ class PAFeat:
         """Hook for FEAT-based baseline subclasses to override trainer hooks."""
         return {}
 
-    def _build_checkpoint_scorer(self, suite: TaskSuite):
+    def _build_checkpoint_scorer(
+        self, suite: TaskSuite
+    ) -> Callable[[dict[int, tuple[int, ...]]], float]:
         """Best-snapshot criterion: held-out kernel F1 on seen tasks.
 
         The RL reward (masked-classifier AUC) is a proxy for the eventual
@@ -463,7 +468,7 @@ class PAFeat:
             seed=seed,
         )
 
-    def _build_agent(self, n_features: int):
+    def _build_agent(self, n_features: int) -> DuelingDQNAgent:
         from repro.core.state import state_dim
         from repro.rl.agent import DuelingDQNAgent
         from repro.rl.schedules import LinearDecay
@@ -488,7 +493,7 @@ class PAFeat:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.trainer
 
-    def inference_agent(self):
+    def inference_agent(self) -> DuelingDQNAgent:
         """The agent answering unseen tasks: the trainer's, or a loaded one."""
         if self.trainer is not None:
             return self.trainer.agent

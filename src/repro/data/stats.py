@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.numerics import safe_div, safe_xlogy
+
 
 def pearson_representation(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
     """Per-feature |Pearson correlation| with the label vector.
@@ -77,8 +79,9 @@ def mutual_information_scores(
         joint /= n
         feature_probs = joint.sum(axis=1)
         outer = feature_probs[:, None] * label_probs[None, :]
-        with np.errstate(invalid="ignore", divide="ignore"):
-            terms = np.where(joint > 0, joint * np.log(joint / outer), 0.0)
+        # joint > 0 implies outer > 0 (both marginals are positive there),
+        # so the masked x·log(y) evaluates only well-defined entries.
+        terms = safe_xlogy(joint, safe_div(joint, outer, fill=1.0))
         scores[j] = max(0.0, float(terms.sum()))
     return scores
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.numerics import stable_sigmoid
 from repro.data.table import StructuredTable
 from repro.data.tasks import TaskSuite
 
@@ -108,7 +109,7 @@ class SyntheticSpec:
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
-    return np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z)))
+    return stable_sigmoid(z)
 
 
 def generate_suite(spec: SyntheticSpec) -> TaskSuite:

@@ -24,7 +24,7 @@ class StructuredTable:
         labels: np.ndarray,
         feature_names: Sequence[str] | None = None,
         label_names: Sequence[str] | None = None,
-    ):
+    ) -> None:
         features = np.asarray(features, dtype=np.float64)
         labels = np.asarray(labels)
         if features.ndim != 2:

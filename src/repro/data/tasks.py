@@ -59,7 +59,7 @@ class TaskSuite:
         seen_label_indices: Sequence[int],
         unseen_label_indices: Sequence[int],
         ground_truth: dict[int, tuple[int, ...]] | None = None,
-    ):
+    ) -> None:
         self.name = name
         self.table = table
         seen = [int(i) for i in seen_label_indices]

@@ -47,7 +47,7 @@ class MaskedMLPClassifier:
         batch_size: int = 64,
         mask_augment: float = 0.3,
         seed: int = 0,
-    ):
+    ) -> None:
         if n_features < 1:
             raise ValueError(f"n_features must be >= 1, got {n_features}")
         if not 0.0 <= mask_augment < 1.0:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.numerics import safe_exp
+
 
 class KernelRidgeClassifier:
     """Binary classifier: RBF kernel ridge regression on ±1 targets.
@@ -27,7 +29,7 @@ class KernelRidgeClassifier:
         gamma: float | None = None,
         max_rows: int = 1000,
         seed: int = 0,
-    ):
+    ) -> None:
         if ridge <= 0.0:
             raise ValueError(f"ridge must be positive, got {ridge}")
         if gamma is not None and gamma <= 0.0:
@@ -109,4 +111,4 @@ class KernelRidgeClassifier:
         sq_a = np.sum(a**2, axis=1)[:, None]
         sq_b = np.sum(b**2, axis=1)[None, :]
         squared = np.maximum(sq_a + sq_b - 2.0 * (a @ b.T), 0.0)
-        return np.exp(-self._gamma_eff * squared)
+        return safe_exp(-self._gamma_eff * squared)

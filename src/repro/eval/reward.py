@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.analysis.contracts import check_scalar_range
 from repro.eval.classifier import MaskedMLPClassifier
 
 
@@ -63,7 +64,7 @@ class RewardFunction:
         metric: str = "auc",
         cache_size: int = 50_000,
         empty_subset_reward: float = 0.0,
-    ):
+    ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._classifier = classifier
@@ -93,6 +94,7 @@ class RewardFunction:
         score = self._classifier.score(
             self._features, self._labels, subset=key, metric=self.metric
         )
+        check_scalar_range("reward", score, 0.0, 1.0)
         if self.cache_size > 0:
             self._cache[key] = score
             if len(self._cache) > self.cache_size:

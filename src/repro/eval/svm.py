@@ -26,7 +26,7 @@ class LinearSVM:
         n_epochs: int = 20,
         batch_size: int = 32,
         seed: int = 0,
-    ):
+    ) -> None:
         if lambda_reg <= 0.0:
             raise ValueError(f"lambda_reg must be positive, got {lambda_reg}")
         if n_epochs < 1:

@@ -18,6 +18,8 @@ import numpy as np
 from repro.core.config import ITEConfig
 from repro.core.pafeat import PAFeat
 from repro.data.stats import mutual_information_scores, pearson_representation
+from repro.data.tasks import Task
+from repro.eval.reward import RewardFunction
 from repro.experiments.runner import (
     evaluate_selection,
     load_suite,
@@ -56,7 +58,7 @@ def reward_cache_study(
     uncached_model = PAFeat(make_config(scale, seed=seed))
     original_build = uncached_model._build_reward
 
-    def build_uncached(task):
+    def build_uncached(task: Task) -> RewardFunction:
         reward_fn = original_build(task)
         reward_fn.cache_size = 0
         reward_fn.clear_cache()
@@ -101,7 +103,7 @@ def task_representation_study(
 
     from repro.core.env import FeatureSelectionEnv
 
-    def select_with(representation: np.ndarray, task) -> tuple[int, ...]:
+    def select_with(representation: np.ndarray, task: Task) -> tuple[int, ...]:
         env = FeatureSelectionEnv(task.label_index, representation, None, model.config.env)
         subset = model.trainer.infer_subset(env)
         return subset or (int(np.argmax(representation)),)

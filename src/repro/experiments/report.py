@@ -10,11 +10,14 @@ from __future__ import annotations
 import argparse
 import time
 from pathlib import Path
+from typing import Callable, Iterator
 
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, table1, table2, table3
 
 
-def _artefacts(scale: str, datasets: tuple[str, ...]):
+def _artefacts(
+    scale: str, datasets: tuple[str, ...]
+) -> Iterator[tuple[str, Callable[[], str]]]:
     """Yield (artefact id, callable returning rendered text)."""
     yield "Table I", lambda: table1.render(table1.run(scale=scale, verify=True))
     yield "Fig. 5", lambda: fig5.render(fig5.run(datasets=datasets, scale=scale))

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.baselines import (
     AllFeaturesSelector,
+    FeatureSelector,
     AntTDSelector,
     GRROSelector,
     GoExploreSelector,
@@ -186,7 +187,9 @@ ALL_METHOD_NAMES = (
 )
 
 
-def _build_simple_selector(name: str, mfr: float, scale: ExperimentScale, seed: int):
+def _build_simple_selector(
+    name: str, mfr: float, scale: ExperimentScale, seed: int
+) -> FeatureSelector:
     params = scale_params(scale)
     classifier = ClassifierConfig(n_epochs=params["classifier_epochs"])
     if name == "k-best":

@@ -69,7 +69,7 @@ class TrainingInterrupted(RuntimeError):
     CLI's SIGTERM handler) can report where to resume from.
     """
 
-    def __init__(self, iteration: int, checkpoint_path: Path | None = None):
+    def __init__(self, iteration: int, checkpoint_path: Path | None = None) -> None:
         self.iteration = iteration
         self.checkpoint_path = checkpoint_path
         suffix = f"; checkpoint flushed to {checkpoint_path}" if checkpoint_path else ""
@@ -151,7 +151,7 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     return path
 
 
-def atomic_write_json(path: str | Path, obj) -> Path:
+def atomic_write_json(path: str | Path, obj: object) -> Path:
     return atomic_write_bytes(path, json.dumps(obj, indent=2).encode("utf-8"))
 
 
@@ -185,7 +185,7 @@ class CheckpointManager:
     any point during :meth:`save` is invisible to :meth:`latest_valid`.
     """
 
-    def __init__(self, directory: str | Path, keep_last: int = 3):
+    def __init__(self, directory: str | Path, keep_last: int = 3) -> None:
         if keep_last < 1:
             raise ValueError(f"keep_last must be >= 1, got {keep_last}")
         self.directory = Path(directory)

@@ -35,7 +35,7 @@ class CrashAt:
     exactly like an uncatchable signal would.
     """
 
-    def __init__(self, at_call: int):
+    def __init__(self, at_call: int) -> None:
         if at_call < 1:
             raise ValueError(f"at_call must be >= 1, got {at_call}")
         self.at_call = at_call

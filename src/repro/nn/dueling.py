@@ -22,7 +22,7 @@ from repro.nn.network import MLP
 class DuelingHead(Layer):
     """Splits a trunk representation into V(s) and zero-centred A(s, ·)."""
 
-    def __init__(self, in_features: int, n_actions: int, rng: np.random.Generator):
+    def __init__(self, in_features: int, n_actions: int, rng: np.random.Generator) -> None:
         if n_actions < 2:
             raise ValueError(f"dueling head needs at least 2 actions, got {n_actions}")
         self.value_head = Linear(in_features, 1, rng, name="dueling.value")
@@ -62,7 +62,7 @@ class DuelingNetwork(Sequential):
         n_actions: int,
         hidden: Sequence[int],
         rng: np.random.Generator,
-    ):
+    ) -> None:
         if not hidden:
             raise ValueError("DuelingNetwork requires at least one hidden layer")
         trunk = MLP([state_dim, *hidden], rng, activation="relu", name="trunk")

@@ -8,8 +8,12 @@ global RNG state anywhere in the library.
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 import numpy as np
+
+#: Signature shared by every initializer: ``(fan_in, fan_out, rng) -> weights``.
+Initializer = Callable[[int, int, np.random.Generator], np.ndarray]
 
 
 def he_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
@@ -40,14 +44,14 @@ def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarra
     return np.zeros((fan_in, fan_out))
 
 
-INITIALIZERS = {
+INITIALIZERS: dict[str, Initializer] = {
     "he": he_init,
     "xavier": xavier_init,
     "zeros": zeros_init,
 }
 
 
-def get_initializer(name: str):
+def get_initializer(name: str) -> Initializer:
     """Look up an initializer by name, raising with the valid options."""
     try:
         return INITIALIZERS[name]

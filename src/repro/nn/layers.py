@@ -12,6 +12,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.analysis.numerics import stable_sigmoid
 from repro.nn.initializers import get_initializer
 
 
@@ -20,7 +21,7 @@ class Parameter:
 
     __slots__ = ("name", "value", "grad")
 
-    def __init__(self, name: str, value: np.ndarray):
+    def __init__(self, name: str, value: np.ndarray) -> None:
         self.name = name
         self.value = np.asarray(value, dtype=np.float64)
         self.grad = np.zeros_like(self.value)
@@ -72,7 +73,7 @@ class Linear(Layer):
         weight_init: str = "he",
         bias: bool = True,
         name: str = "linear",
-    ):
+    ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError(
                 f"feature dimensions must be positive, got {in_features}, {out_features}"
@@ -163,7 +164,7 @@ class Sigmoid(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+        out = stable_sigmoid(x)
         if training:
             self._out = out
         return out
@@ -177,7 +178,7 @@ class Sigmoid(Layer):
 class Dropout(Layer):
     """Inverted dropout: active only when ``training`` is True."""
 
-    def __init__(self, p: float, rng: np.random.Generator):
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
@@ -202,7 +203,7 @@ class Dropout(Layer):
 class Sequential(Layer):
     """Composes layers in order; backward runs them in reverse."""
 
-    def __init__(self, layers: Sequence[Layer] | Iterable[Layer]):
+    def __init__(self, layers: Sequence[Layer] | Iterable[Layer]) -> None:
         self.layers: list[Layer] = list(layers)
         if not self.layers:
             raise ValueError("Sequential requires at least one layer")

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.numerics import safe_log, stable_softmax
+
 
 class Loss:
     """Base class; subclasses cache forward inputs for backward."""
@@ -50,7 +52,7 @@ class MSELoss(Loss):
 class HuberLoss(Loss):
     """Huber (smooth-L1) loss — the standard robust TD-error loss for DQN."""
 
-    def __init__(self, delta: float = 1.0):
+    def __init__(self, delta: float = 1.0) -> None:
         if delta <= 0.0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.delta = delta
@@ -74,7 +76,7 @@ class HuberLoss(Loss):
 class BCELoss(Loss):
     """Binary cross-entropy on probabilities in (0, 1)."""
 
-    def __init__(self, eps: float = 1e-12):
+    def __init__(self, eps: float = 1e-12) -> None:
         self.eps = eps
         self._pred: np.ndarray | None = None
         self._target: np.ndarray | None = None
@@ -84,7 +86,7 @@ class BCELoss(Loss):
         pred = np.clip(pred, self.eps, 1.0 - self.eps)
         self._pred, self._target = pred, target
         return float(
-            -np.mean(target * np.log(pred) + (1.0 - target) * np.log(1.0 - pred))
+            -np.mean(target * safe_log(pred) + (1.0 - target) * safe_log(1.0 - pred))
         )
 
     def backward(self) -> np.ndarray:
@@ -108,12 +110,10 @@ class CrossEntropyLoss(Loss):
             raise ValueError(
                 f"batch mismatch: {logits.shape[0]} logits vs {target.shape[0]} targets"
             )
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        probs = exp / exp.sum(axis=1, keepdims=True)
+        probs = stable_softmax(logits, axis=1)
         self._probs, self._target = probs, target
         picked = probs[np.arange(len(target)), target]
-        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+        return float(-np.mean(safe_log(picked)))
 
     def backward(self) -> np.ndarray:
         if self._probs is None or self._target is None:

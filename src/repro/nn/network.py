@@ -27,7 +27,7 @@ class MLP(Sequential):
         output_activation: str | None = None,
         dropout: float = 0.0,
         name: str = "mlp",
-    ):
+    ) -> None:
         if len(sizes) < 2:
             raise ValueError(f"MLP needs at least [in, out] sizes, got {list(sizes)}")
         if activation not in _ACTIVATIONS:

@@ -12,7 +12,7 @@ from repro.nn.layers import Parameter
 class Optimizer:
     """Base optimizer holding a parameter list."""
 
-    def __init__(self, parameters: Sequence[Parameter], lr: float):
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
         if lr <= 0.0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.parameters = list(parameters)
@@ -49,7 +49,7 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, parameters: Sequence[Parameter], lr: float, momentum: float = 0.0):
+    def __init__(self, parameters: Sequence[Parameter], lr: float, momentum: float = 0.0) -> None:
         super().__init__(parameters, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -84,7 +84,7 @@ class Adam(Optimizer):
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
-    ):
+    ) -> None:
         super().__init__(parameters, lr)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:

@@ -8,6 +8,12 @@ Task-agnostic pieces live here; everything specific to feature selection
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.replay import ReplayBuffer, ReplayRegistry
 from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+from repro.rl.seeding import (
+    derive_seed,
+    spawn_generators,
+    task_rng,
+    task_seed_sequence,
+)
 from repro.rl.transition import Transition, Trajectory
 
 __all__ = [
@@ -19,4 +25,8 @@ __all__ = [
     "ReplayRegistry",
     "Trajectory",
     "Transition",
+    "derive_seed",
+    "spawn_generators",
+    "task_rng",
+    "task_seed_sequence",
 ]

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import check_finite, check_state_batch
 from repro.nn.dueling import DuelingNetwork
 from repro.nn.losses import HuberLoss
 from repro.nn.network import load_state_dict, state_dict
@@ -40,7 +41,7 @@ class DuelingDQNAgent:
         rng: np.random.Generator,
         grad_clip: float = 10.0,
         double_dqn: bool = True,
-    ):
+    ) -> None:
         if not 0.0 <= gamma <= 1.0:
             raise ValueError(f"gamma must be in [0, 1], got {gamma}")
         if target_sync_every < 1:
@@ -64,6 +65,7 @@ class DuelingDQNAgent:
     def q_values(self, states: np.ndarray) -> np.ndarray:
         """Online-network Q(s, ·) for a batch (or single) state."""
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        check_state_batch("agent.q_values", states, self.state_dim)
         return self.online.forward(states, training=False)
 
     def act(self, state: np.ndarray, greedy: bool = False) -> int:
@@ -142,7 +144,10 @@ class DuelingDQNAgent:
         returns_to_go = np.array(
             [t.return_to_go if t.return_to_go is not None else -np.inf for t in batch]
         )
-        return states, actions, np.maximum(targets, returns_to_go)
+        check_state_batch("agent.compute_targets", states, self.state_dim)
+        tightened = np.maximum(targets, returns_to_go)
+        check_finite("agent.compute_targets", tightened)
+        return states, actions, tightened
 
     def td_errors(self, batch: Sequence[Transition]) -> np.ndarray:
         """Per-sample |target − Q(s, a)| — priorities for prioritized replay."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.numerics import normalized
 from repro.rl.replay import ReplayBuffer
 from repro.rl.transition import Transition
 
@@ -31,7 +32,7 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         alpha: float = 0.6,
         beta: float = 0.4,
         epsilon: float = 1e-3,
-    ):
+    ) -> None:
         super().__init__(capacity, trajectory_window=trajectory_window)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -62,7 +63,7 @@ class PrioritizedReplayBuffer(ReplayBuffer):
             raise ValueError("cannot sample from an empty buffer")
         priorities = np.asarray(self._priorities, dtype=np.float64)
         scaled = (priorities + self.epsilon) ** self.alpha
-        probabilities = scaled / scaled.sum()
+        probabilities = normalized(scaled)
         indices = rng.choice(len(self._storage), size=batch_size, p=probabilities)
         self.last_indices = indices
         weights = (len(self._storage) * probabilities[indices]) ** (-self.beta)

@@ -10,6 +10,7 @@ progress probes.
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.rl.transition import Trajectory, Transition
 class ReplayBuffer:
     """Bounded uniform-sampling transition store with a trajectory tail."""
 
-    def __init__(self, capacity: int, trajectory_window: int = 32):
+    def __init__(self, capacity: int, trajectory_window: int = 32) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if trajectory_window < 1:
@@ -166,7 +167,12 @@ class ReplayRegistry:
     ``(capacity, trajectory_window)`` and must return a ReplayBuffer.
     """
 
-    def __init__(self, capacity: int, trajectory_window: int = 32, buffer_factory=None):
+    def __init__(
+        self,
+        capacity: int,
+        trajectory_window: int = 32,
+        buffer_factory: Callable[[int, int], "ReplayBuffer"] | None = None,
+    ) -> None:
         self._capacity = capacity
         self._trajectory_window = trajectory_window
         self._buffer_factory = buffer_factory or (

@@ -20,7 +20,7 @@ class Schedule:
 class ConstantSchedule(Schedule):
     """Always returns the same value."""
 
-    def __init__(self, constant: float):
+    def __init__(self, constant: float) -> None:
         self.constant = constant
 
     def value(self, step: int) -> float:
@@ -30,7 +30,7 @@ class ConstantSchedule(Schedule):
 class LinearDecay(Schedule):
     """Linearly anneal from ``start`` to ``end`` over ``decay_steps``."""
 
-    def __init__(self, start: float, end: float, decay_steps: int):
+    def __init__(self, start: float, end: float, decay_steps: int) -> None:
         if decay_steps < 1:
             raise ValueError(f"decay_steps must be >= 1, got {decay_steps}")
         self.start = start
@@ -45,7 +45,7 @@ class LinearDecay(Schedule):
 class ExponentialDecay(Schedule):
     """Decay ``start`` towards ``end`` with time constant ``tau`` steps."""
 
-    def __init__(self, start: float, end: float, tau: float):
+    def __init__(self, start: float, end: float, tau: float) -> None:
         if tau <= 0.0:
             raise ValueError(f"tau must be positive, got {tau}")
         self.start = start

@@ -1,0 +1,360 @@
+"""repro-lint: per-rule good/bad snippets, suppressions, CLI and self-check.
+
+Each rule is exercised with a minimal violating snippet and a minimal clean
+counterpart, so a rule that stops firing (or starts over-firing) fails here
+before it silently degrades the determinism gate.  The suite ends with the
+gate itself: ``src/repro`` must be clean under the full rule catalog.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.repolint import analyze_paths, analyze_source, rule_catalog
+from tools.repolint.rules import RULE_CLASSES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def check(source: str, module: str = "scratch.module") -> list[str]:
+    return codes(analyze_source(source, Path("scratch.py"), module=module))
+
+
+# ---------------------------------------------------------------------------
+# Rule catalog sanity
+# ---------------------------------------------------------------------------
+
+def test_catalog_codes_are_unique_and_documented():
+    catalog = rule_catalog()
+    assert len(catalog) == len(RULE_CLASSES)
+    assert len({entry[0] for entry in catalog}) == len(catalog)
+    for code, _name, summary in catalog:
+        assert summary, f"rule {code} has no docstring summary"
+
+
+# ---------------------------------------------------------------------------
+# RNG101 — legacy global numpy.random calls
+# ---------------------------------------------------------------------------
+
+def test_rng101_flags_global_numpy_random():
+    assert "RNG101" in check("import numpy as np\nx = np.random.rand(3)\n")
+    assert "RNG101" in check("import numpy\nnumpy.random.seed(0)\n")
+    assert "RNG101" in check(
+        "from numpy import random\nrandom.shuffle([1, 2])\n"
+    )
+
+
+def test_rng101_allows_generator_api():
+    clean = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "x = rng.random(3)\n"
+        "ss = np.random.SeedSequence(1)\n"
+    )
+    findings = check(clean)
+    assert "RNG101" not in findings
+
+
+# ---------------------------------------------------------------------------
+# RNG102 — stdlib random
+# ---------------------------------------------------------------------------
+
+def test_rng102_flags_stdlib_random():
+    assert "RNG102" in check("import random\nx = random.random()\n")
+    assert "RNG102" in check("from random import choice\ny = choice([1, 2])\n")
+
+
+def test_rng102_ignores_unrelated_names():
+    assert check("def choice(xs):\n    return xs[0]\nchoice([1])\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RNG103 — inline SeedSequence outside sanctioned scopes
+# ---------------------------------------------------------------------------
+
+def test_rng103_flags_inline_seed_sequence_in_method():
+    bad = (
+        "import numpy as np\n"
+        "class C:\n"
+        "    def run(self, seed):\n"
+        "        return np.random.SeedSequence([seed, 1])\n"
+    )
+    assert "RNG103" in check(bad)
+
+
+def test_rng103_allows_init_and_seeding_module():
+    in_init = (
+        "import numpy as np\n"
+        "class C:\n"
+        "    def __init__(self, seed):\n"
+        "        self.ss = np.random.SeedSequence(seed)\n"
+    )
+    assert "RNG103" not in check(in_init)
+    in_helper = "import numpy as np\nss = np.random.SeedSequence(7)\n"
+    assert "RNG103" not in check(in_helper, module="repro.rl.seeding")
+
+
+# ---------------------------------------------------------------------------
+# RNG104 — wall-clock reads in deterministic packages
+# ---------------------------------------------------------------------------
+
+def test_rng104_flags_wall_clock_in_core_only():
+    bad = "import time\nstart = time.time()\n"
+    assert "RNG104" in check(bad, module="repro.core.feat")
+    assert "RNG104" in check(
+        "import datetime\nnow = datetime.datetime.now()\n", module="repro.nn.layers"
+    )
+    # Outside the deterministic packages wall-clock reads are fine
+    # (experiments measure latency on purpose).
+    assert "RNG104" not in check(bad, module="repro.experiments.runner")
+    assert "RNG104" not in check("import time\nd = time.perf_counter()\n",
+                                 module="repro.core.feat")
+
+
+# ---------------------------------------------------------------------------
+# CKPT201 — checkpoint completeness
+# ---------------------------------------------------------------------------
+
+UNREGISTERED_FIELD = (
+    "class Trainer:\n"
+    "    def __init__(self):\n"
+    "        self.step = 0\n"
+    "        self.momentum = 0.0\n"
+    "    def train(self):\n"
+    "        self.step += 1\n"
+    "        self.momentum = 0.9 * self.momentum + 1.0\n"
+    "    def capture_state(self):\n"
+    "        return {'step': self.step}\n"
+    "    def restore_state(self, state):\n"
+    "        self.step = state['step']\n"
+)
+
+
+def test_ckpt201_flags_unregistered_mutated_attribute():
+    findings = analyze_source(
+        UNREGISTERED_FIELD, Path("trainer.py"), module="scratch.trainer"
+    )
+    assert codes(findings) == ["CKPT201"]
+    assert "momentum" in findings[0].message
+
+
+def test_ckpt201_clean_when_attribute_registered():
+    good = UNREGISTERED_FIELD.replace(
+        "return {'step': self.step}",
+        "return {'step': self.step, 'momentum': self.momentum}",
+    )
+    assert "CKPT201" not in check(good)
+
+
+def test_ckpt201_ignores_config_only_attributes():
+    good = (
+        "class Evaluator:\n"
+        "    def __init__(self, k):\n"
+        "        self.k = k\n"             # never reassigned -> config, exempt
+        "    def capture_state(self):\n"
+        "        return {}\n"
+        "    def restore_state(self, state):\n"
+        "        pass\n"
+    )
+    assert "CKPT201" not in check(good)
+
+
+@pytest.mark.fault
+def test_ckpt201_regression_fixture_matches_fault_suite_contract():
+    """A deliberately unregistered field is caught before it can corrupt a
+    resume — the static complement of the PR-1 fault-injection suite."""
+    findings = analyze_source(
+        UNREGISTERED_FIELD, Path("trainer.py"), module="scratch.trainer"
+    )
+    assert len(findings) == 1
+    assert findings[0].code == "CKPT201"
+    assert "silently lost" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# NUM301 / NUM302 — numerical safety
+# ---------------------------------------------------------------------------
+
+def test_num301_flags_unclipped_exp_and_log():
+    assert "NUM301" in check("import numpy as np\ny = np.exp(x)\n")
+    assert "NUM301" in check("import numpy as np\ny = np.log(p)\n")
+
+
+def test_num301_allows_clamped_arguments_and_sanctioned_module():
+    assert "NUM301" not in check(
+        "import numpy as np\ny = np.exp(np.minimum(x, 700.0))\n"
+    )
+    assert "NUM301" not in check(
+        "import numpy as np\ny = np.log(np.maximum(p, 1e-12))\n"
+    )
+    assert "NUM301" not in check(
+        "import numpy as np\ny = np.exp(x)\n", module="repro.analysis.numerics"
+    )
+
+
+def test_num302_flags_division_by_raw_sum():
+    assert "NUM302" in check("p = w / w.sum()\n")
+    assert "NUM302" in check("import numpy as np\np = w / np.sum(w)\n")
+
+
+def test_num302_allows_guarded_division():
+    guarded = "p = w / w.sum() if w.sum() > 0 else u\n"
+    assert "NUM302" not in check(guarded)
+    branch = "if w.sum() > 0:\n    p = w / w.sum()\n"
+    assert "NUM302" not in check(branch)
+
+
+# ---------------------------------------------------------------------------
+# API401 / API402 — API hygiene
+# ---------------------------------------------------------------------------
+
+def test_api401_flags_mutable_defaults():
+    assert "API401" in check("def f(xs=[]):\n    return xs\n")
+    assert "API401" in check("def f(m={}):\n    return m\n")
+    assert "API401" in check("def f(s=set()):\n    return s\n")
+
+
+def test_api401_allows_immutable_defaults():
+    assert check("def f(xs=(), name='x', k=None):\n    return xs\n") == []
+
+
+def check_init(source: str) -> list[str]:
+    return codes(
+        analyze_source(source, Path("pkg/__init__.py"), module="scratch")
+    )
+
+
+def test_api402_flags_all_drift_both_directions():
+    ghost = (
+        "__all__ = ['real', 'ghost']\n"
+        "def real():\n    pass\n"
+    )
+    assert "API402" in check_init(ghost)
+    unexported = (
+        "__all__ = ['real']\n"
+        "def real():\n    pass\n"
+        "def hidden():\n    pass\n"
+    )
+    assert "API402" in check_init(unexported)
+
+
+def test_api402_only_applies_to_package_inits():
+    drift = "__all__ = ['ghost']\n"
+    assert "API402" not in check(drift, module="scratch.module")
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+def test_suppression_silences_named_code():
+    src = "import random\nx = random.random()  # repolint: disable=RNG102\n"
+    assert check(src) == []
+
+
+def test_suppression_disable_all():
+    src = "import random\nx = random.random()  # repolint: disable=all\n"
+    assert check(src) == []
+
+
+def test_suppression_wrong_code_still_flags():
+    src = "import random\nx = random.random()  # repolint: disable=NUM301\n"
+    assert "RNG102" in check(src)
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = analyze_source("def broken(:\n", Path("broken.py"))
+    assert codes(findings) == ["PARSE001"]
+
+
+# ---------------------------------------------------------------------------
+# The gate: src/repro itself must be clean
+# ---------------------------------------------------------------------------
+
+def test_src_repro_is_clean():
+    findings = analyze_paths([REPO_ROOT / "src"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_tools_package_is_clean_under_its_own_rules():
+    findings = analyze_paths([REPO_ROOT / "tools"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI behaviour
+# ---------------------------------------------------------------------------
+
+def run_cli(*args: str, cwd: Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "tools.repolint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+    )
+
+
+def test_cli_clean_tree_exits_zero():
+    result = run_cli("src/")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_cli_seeded_violation_fails(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    result = run_cli(str(bad))
+    assert result.returncode == 1
+    assert "RNG102" in result.stdout
+
+
+def test_cli_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\ndef f(xs=[]):\n    return xs\n")
+    result = run_cli("--select", "API401", str(bad))
+    assert result.returncode == 1
+    assert "API401" in result.stdout
+    assert "RNG102" not in result.stdout
+
+
+def test_cli_unknown_select_code_exits_two():
+    result = run_cli("--select", "NOPE999", "src/")
+    assert result.returncode == 2
+
+
+def test_cli_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for code in ("RNG101", "CKPT201", "NUM301", "API402"):
+        assert code in result.stdout
+
+
+def test_cli_changed_fast_path(tmp_path):
+    """--changed scans only files reported dirty by git."""
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    subprocess.run(["git", "-C", str(tmp_path), "add", "-A"], check=True)
+    subprocess.run(
+        ["git", "-C", str(tmp_path), "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-qm", "seed"],
+        check=True,
+    )
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(0)\n")
+    result = run_cli("--changed", str(tmp_path), cwd=tmp_path)
+    assert result.returncode == 1
+    assert "bad.py" in result.stdout
+    assert "clean.py" not in result.stdout

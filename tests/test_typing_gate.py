@@ -1,0 +1,31 @@
+"""Strict-typing gate: ``mypy --strict src/repro`` must pass.
+
+mypy is a dev-only dependency (``pip install -e .[dev]``); when it is not
+installed — e.g. in the minimal runtime container — the gate is skipped
+here and enforced by the CI lint job instead, which always installs it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+mypy_available = importlib.util.find_spec("mypy") is not None
+
+
+@pytest.mark.skipif(not mypy_available, reason="mypy is not installed")
+def test_mypy_strict_src_repro():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

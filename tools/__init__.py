@@ -1,0 +1,1 @@
+"""Developer tooling for the PA-FEAT reproduction (not shipped with the package)."""

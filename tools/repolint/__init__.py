@@ -1,0 +1,50 @@
+"""repro-lint: determinism- and contract-checking static analysis.
+
+AST-based, project-specific rules over the PA-FEAT reproduction:
+
+=======  ==========================  ==================================================
+Code     Name                        Catches
+=======  ==========================  ==================================================
+RNG101   global-numpy-random         legacy ``np.random.*`` global-state draws
+RNG102   stdlib-random               stdlib ``random`` module global-state draws
+RNG103   inline-seed-sequence        per-call ``SeedSequence`` outside constructors
+RNG104   wall-clock                  ``time.time()``/``datetime.now()`` in core/rl/nn
+CKPT201  checkpoint-completeness     run-state missing from capture/restore pairs
+NUM301   unguarded-exp-log           raw ``np.exp``/``np.log`` on unclamped inputs
+NUM302   unguarded-sum-division      normalisation by a possibly-zero ``.sum()``
+API401   mutable-default-arg         shared mutable default arguments
+API402   all-drift                   ``__all__`` out of sync with bound names
+=======  ==========================  ==================================================
+
+Run ``python -m tools.repolint src/`` (or ``--changed`` for a fast path over
+the git-modified set).  Suppress a single line with
+``# repolint: disable=CODE`` and add rules in ``tools/repolint/rules/``.
+"""
+
+from tools.repolint.engine import (
+    Finding,
+    Rule,
+    RuleContext,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    module_for_path,
+    suppressed_codes_by_line,
+)
+from tools.repolint.rules import RULE_CLASSES, all_rules, rule_catalog
+
+__all__ = [
+    "Finding",
+    "RULE_CLASSES",
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_for_path",
+    "rule_catalog",
+    "suppressed_codes_by_line",
+]

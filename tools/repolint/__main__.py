@@ -1,0 +1,6 @@
+"""Entry point for ``python -m tools.repolint``."""
+
+from tools.repolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Command-line front end: ``python -m tools.repolint [paths...]``.
+
+Exit status is 0 when the scanned tree is clean and 1 when any finding
+survives suppression filtering — which is exactly what CI and pre-commit
+need to fail a build on a new violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.repolint.engine import Finding, analyze_paths, iter_python_files
+from tools.repolint.rules import all_rules, rule_catalog
+
+
+def changed_python_files(repo_root: Path) -> list[Path]:
+    """Tracked-but-modified plus untracked ``.py`` files per ``git status``."""
+    result = subprocess.run(
+        ["git", "status", "--porcelain"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    files: list[Path] = []
+    for line in result.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:].split(" -> ")[-1].strip().strip('"')
+        path = repo_root / name
+        if path.suffix == ".py" and path.exists():
+            files.append(path)
+    return files
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description=(
+            "Project-specific determinism and contract linter: RNG discipline, "
+            "checkpoint completeness, numerical safety and API hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src/)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="fast path: only scan .py files git reports as modified/untracked",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings only)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, name, summary in rule_catalog():
+            print(f"{code}  {name:<26} {summary}")
+        return 0
+
+    rules = all_rules()
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",") if code.strip()}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            print(f"unknown rule codes: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    if args.changed:
+        root = Path.cwd()
+        try:
+            targets: list[Path] = changed_python_files(root)
+        except (OSError, subprocess.CalledProcessError) as error:
+            print(f"--changed requires git ({error}); scanning defaults", file=sys.stderr)
+            targets = [root / "src"]
+        if args.paths:
+            # Restrict the changed set to the requested scopes.
+            scopes = [Path(p).resolve() for p in args.paths]
+            targets = [
+                f
+                for f in iter_python_files(targets)
+                if any(f.resolve().is_relative_to(scope) for scope in scopes)
+            ]
+    elif args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        targets = [Path("src")]
+
+    findings: list[Finding] = analyze_paths(targets, rules=rules)
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        scanned = len(list(iter_python_files(targets)))
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"repolint: {scanned} file(s) scanned — {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,249 @@
+"""repolint core: findings, suppressions, import resolution and the analyzer.
+
+The engine is deliberately self-contained (stdlib only) so it can run in any
+environment that can run the repo itself.  Rules are small classes over the
+``ast`` module; the engine parses each file once, hands every rule the same
+:class:`RuleContext`, and filters the merged findings through per-line
+``# repolint: disable=CODE`` suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+SUPPRESS_PATTERN = re.compile(r"#\s*repolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Directories never descended into when walking a tree of files.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+class Rule:
+    """Base class for repolint rules.
+
+    Subclasses set ``code`` / ``name`` / ``hint`` (the autofix guidance
+    printed with every finding) and implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    hint: str = ""
+
+    def check(self, ctx: "RuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "RuleContext", node: ast.AST, message: str, hint: str | None = None
+    ) -> Finding:
+        return Finding(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+class ImportResolver:
+    """Maps local names to the dotted origin they were imported from.
+
+    ``import numpy as np`` → ``np`` resolves to ``numpy``;
+    ``from numpy import random`` → ``random`` resolves to ``numpy.random``;
+    ``from numpy.random import SeedSequence as SS`` → ``SS`` resolves to
+    ``numpy.random.SeedSequence``.  Relative imports stay unresolved — the
+    project rules only target absolute stdlib/numpy origins.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the *root* name.
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or None if unresolvable."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        head = self.aliases.get(current.id, current.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule needs to analyze one parsed file."""
+
+    path: Path
+    module: str | None
+    tree: ast.Module
+    source_lines: list[str]
+    resolver: ImportResolver = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.resolver = ImportResolver(self.tree)
+
+    def module_in(self, *prefixes: str) -> bool:
+        """True when the file's dotted module sits under one of ``prefixes``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def walk_scoped(self) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+        """Yield ``(node, ancestors)`` pairs in document order."""
+
+        def visit(
+            node: ast.AST, ancestors: tuple[ast.AST, ...]
+        ) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+            yield node, ancestors
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, ancestors + (node,))
+
+        yield from visit(self.tree, ())
+
+
+def module_for_path(path: Path) -> str | None:
+    """Infer the dotted module for a file living under a ``repro`` tree."""
+    parts = list(path.resolve().with_suffix("").parts)
+    if "repro" not in parts:
+        return None
+    index = parts.index("repro")
+    dotted = ".".join(parts[index:])
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def suppressed_codes_by_line(source_lines: Sequence[str]) -> dict[int, set[str]]:
+    """Per-line suppression sets from ``# repolint: disable=CODE[,CODE...]``."""
+    suppressed: dict[int, set[str]] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = SUPPRESS_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        if codes:
+            suppressed[number] = codes
+    return suppressed
+
+
+def default_rules() -> list[Rule]:
+    from tools.repolint.rules import all_rules
+
+    return all_rules()
+
+
+def analyze_source(
+    source: str,
+    path: Path | str,
+    module: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run every rule over one source blob and filter suppressions."""
+    path = Path(path)
+    if rules is None:
+        rules = default_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=str(path),
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                code="PARSE001",
+                message=f"file does not parse: {error.msg}",
+                hint="repolint needs syntactically valid Python",
+            )
+        ]
+    source_lines = source.splitlines()
+    ctx = RuleContext(
+        path=path,
+        module=module if module is not None else module_for_path(path),
+        tree=tree,
+        source_lines=source_lines,
+    )
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    suppressed = suppressed_codes_by_line(source_lines)
+    kept = [
+        finding
+        for finding in findings
+        if not (
+            finding.line in suppressed
+            and (
+                finding.code in suppressed[finding.line]
+                or "all" in suppressed[finding.line]
+            )
+        )
+    ]
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def analyze_file(path: Path | str, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(source, path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in SKIP_DIRS for part in candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[Path | str], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    if rules is None:
+        rules = default_rules()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(analyze_file(path, rules=rules))
+    return findings

@@ -1,0 +1,58 @@
+"""Rule registry: every repolint rule, instantiable in catalog order."""
+
+from __future__ import annotations
+
+from tools.repolint.engine import Rule
+from tools.repolint.rules.api import AllDriftRule, MutableDefaultRule
+from tools.repolint.rules.checkpoint import CheckpointCompletenessRule
+from tools.repolint.rules.numeric import UnguardedExpLogRule, UnguardedSumDivisionRule
+from tools.repolint.rules.rng import (
+    GlobalNumpyRandomRule,
+    InlineSeedSequenceRule,
+    StdlibRandomRule,
+    WallClockRule,
+)
+
+RULE_CLASSES: list[type[Rule]] = [
+    GlobalNumpyRandomRule,
+    StdlibRandomRule,
+    InlineSeedSequenceRule,
+    WallClockRule,
+    CheckpointCompletenessRule,
+    UnguardedExpLogRule,
+    UnguardedSumDivisionRule,
+    MutableDefaultRule,
+    AllDriftRule,
+]
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in catalog order."""
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """(code, name, one-line summary) for every rule — feeds --list-rules."""
+    catalog = []
+    for rule_class in RULE_CLASSES:
+        doc = (rule_class.__doc__ or "").strip().splitlines()[0]
+        summary = doc.split(": ", 1)[1] if ": " in doc else doc
+        catalog.append((rule_class.code, rule_class.name, summary))
+    return catalog
+
+
+__all__ = [
+    "AllDriftRule",
+    "CheckpointCompletenessRule",
+    "GlobalNumpyRandomRule",
+    "InlineSeedSequenceRule",
+    "MutableDefaultRule",
+    "RULE_CLASSES",
+    "Rule",
+    "StdlibRandomRule",
+    "UnguardedExpLogRule",
+    "UnguardedSumDivisionRule",
+    "WallClockRule",
+    "all_rules",
+    "rule_catalog",
+]

@@ -1,0 +1,149 @@
+"""API-hygiene rules (the API4xx family)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, Rule, RuleContext
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "collections.defaultdict"}
+
+
+class MutableDefaultRule(Rule):
+    """API401: mutable default argument shared across every call."""
+
+    code = "API401"
+    name = "mutable-default-arg"
+    hint = "default to None and create the container inside the function body"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, MUTABLE_LITERALS):
+                    yield self.finding(
+                        ctx, default, "mutable default argument (shared across calls)"
+                    )
+                elif isinstance(default, ast.Call):
+                    origin = ctx.resolver.resolve(default.func)
+                    if origin in MUTABLE_CONSTRUCTORS:
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument '{origin}()' "
+                            "(shared across calls)",
+                        )
+
+
+class AllDriftRule(Rule):
+    """API402: ``__all__`` out of sync with the names an ``__init__.py`` binds.
+
+    Both directions are drift: a name listed in ``__all__`` that the module
+    never binds breaks ``from pkg import name``; a public name imported at
+    the top level but missing from ``__all__`` silently narrows the
+    wildcard/typed surface the package advertises.
+    """
+
+    code = "API402"
+    name = "all-drift"
+    hint = "keep __all__ exactly equal to the public names the module binds"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.path.name != "__init__.py":
+            return
+        all_node, exported = self._exported(ctx.tree)
+        if all_node is None or exported is None:
+            return
+        bound_public = self._bound_public_names(ctx.tree)
+        bound_all = self._bound_names(ctx.tree)
+        for name in sorted(set(exported) - bound_all):
+            yield self.finding(
+                ctx,
+                all_node,
+                f"'{name}' is listed in __all__ but never bound in this module",
+                hint="remove it from __all__ or import/define it",
+            )
+        for name in sorted(bound_public - set(exported)):
+            yield self.finding(
+                ctx,
+                all_node,
+                f"public name '{name}' is bound here but missing from __all__",
+                hint="add it to __all__ or rename it with a leading underscore",
+            )
+
+    @staticmethod
+    def _exported(tree: ast.Module) -> tuple[ast.AST | None, list[str] | None]:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts
+                    ):
+                        names = [e.value for e in value.elts]  # type: ignore[union-attr]
+                        return node, names
+                    return node, None  # dynamic __all__: out of scope
+        return None, None
+
+    @staticmethod
+    def _bound_names(tree: ast.Module) -> set[str]:
+        """Every top-level name the module binds (imports, defs, assigns)."""
+        bound: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        return bound
+
+    @classmethod
+    def _bound_public_names(cls, tree: ast.Module) -> set[str]:
+        """Top-level names that form the package's implicit public surface.
+
+        Plain ``import x`` bindings are excluded (they re-expose modules,
+        not API); ``from ... import`` names, defs and assignments count.
+        """
+        public: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if bound != "*" and not bound.startswith("_"):
+                        public.add(bound)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_"):
+                    public.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and not target.id.startswith("_")
+                        and target.id != "__all__"
+                    ):
+                        public.add(target.id)
+        return public

@@ -1,0 +1,124 @@
+"""Checkpoint-completeness rule (CKPT201).
+
+PR 1's crash-safe training rests on a convention: every stateful component
+captures *all* of its mutable run-state in ``capture_state`` and puts it
+back in ``restore_state``.  The classic regression is adding a new counter
+or buffer to ``__init__``, mutating it during training, and forgetting the
+capture/restore pair — the checkpoint round-trips "successfully" and the
+resumed run silently diverges.  This rule catches that class of bug
+statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, Rule, RuleContext
+
+CAPTURE_METHODS = {"capture_state", "state_dict"}
+RESTORE_METHODS = {"restore_state", "load_state_dict"}
+
+
+def _self_attribute_writes(function: ast.AST) -> dict[str, int]:
+    """Attribute names assigned via ``self.<name> = / += ...`` → first line."""
+    writes: dict[str, int] = {}
+    for node in ast.walk(function):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for element in _flatten_targets(target):
+                if (
+                    isinstance(element, ast.Attribute)
+                    and isinstance(element.value, ast.Name)
+                    and element.value.id == "self"
+                ):
+                    writes.setdefault(element.attr, element.lineno)
+    return writes
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+def _self_attribute_references(functions: list[ast.AST]) -> set[str]:
+    """Every ``self.<name>`` read or written anywhere in ``functions``."""
+    referenced: set[str] = set()
+    for function in functions:
+        for node in ast.walk(function):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                referenced.add(node.attr)
+    return referenced
+
+
+class CheckpointCompletenessRule(Rule):
+    """CKPT201: run-state attribute missing from the capture/restore pair.
+
+    For every class implementing both a capture method (``capture_state`` /
+    ``state_dict``) and a restore method (``restore_state`` /
+    ``load_state_dict``), any attribute that is (a) initialised in
+    ``__init__`` and (b) reassigned in some other method — i.e. genuine
+    mutable run-state, not frozen constructor config — must be referenced
+    somewhere in the capture/restore pair.  Attributes that are pure
+    constructor configuration (never reassigned after ``__init__``) are
+    exempt: rebuilding the object from the same config restores them.
+    """
+
+    code = "CKPT201"
+    name = "checkpoint-completeness"
+    hint = (
+        "capture the attribute in capture_state and reassign it in "
+        "restore_state — or suppress if it is provably derived/transient"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: RuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        capture = [methods[name] for name in CAPTURE_METHODS if name in methods]
+        restore = [methods[name] for name in RESTORE_METHODS if name in methods]
+        init = methods.get("__init__")
+        if not capture or not restore or init is None:
+            return
+        checkpoint_methods = {m.name for m in capture + restore}
+        init_writes = _self_attribute_writes(init)
+        mutated: set[str] = set()
+        for name, method in methods.items():
+            if name == "__init__" or name in checkpoint_methods:
+                continue
+            mutated.update(_self_attribute_writes(method))
+        referenced = _self_attribute_references(
+            [*capture, *restore]  # reads and writes both count as "covered"
+        )
+        for attr in sorted(init_writes):
+            if attr in mutated and attr not in referenced:
+                yield Finding(
+                    path=str(ctx.path),
+                    line=init_writes[attr],
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"'{cls.name}.{attr}' is mutated at runtime but never "
+                        "appears in the capture/restore pair — it will be "
+                        "silently lost across checkpoint/resume"
+                    ),
+                    hint=self.hint,
+                )

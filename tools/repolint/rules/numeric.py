@@ -1,0 +1,123 @@
+"""Numerical-safety contract rules (the NUM3xx family).
+
+``np.exp`` overflows past ~709, ``np.log`` of a zero probability is ``-inf``
+and a division by an unguarded ``.sum()`` turns an all-zero weight vector
+into NaNs — all three have bitten loss/softmax code in RL systems, usually
+only after hours of training.  The project keeps one sanctioned module of
+clamped/stabilised helpers (:mod:`repro.analysis.numerics`); everything
+else must either go through those helpers or visibly clamp its input.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, Rule, RuleContext
+
+#: The one module allowed to call the raw primitives (it implements the guards).
+SANCTIONED_NUMERIC_MODULES = {"repro.analysis.numerics"}
+
+UNSAFE_TRANSCENDENTALS = {
+    "numpy.exp": "overflows to inf for inputs above ~709",
+    "numpy.log": "is -inf/nan at or below zero",
+    "numpy.log2": "is -inf/nan at or below zero",
+    "numpy.log10": "is -inf/nan at or below zero",
+}
+
+#: Calls inside an argument that count as a visible clamp of the input.
+CLAMP_CALLS = {"numpy.clip", "numpy.minimum", "numpy.maximum"}
+
+
+def _contains_clamp(node: ast.AST, ctx: RuleContext) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            origin = ctx.resolver.resolve(child.func)
+            if origin in CLAMP_CALLS:
+                return True
+    return False
+
+
+def _is_sum_call(node: ast.AST, ctx: RuleContext) -> bool:
+    """True for ``<expr>.sum(...)`` and ``np.sum(...)`` denominators."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "sum":
+        return True  # covers both ``x.sum()`` and ``np.sum`` spelled as attribute
+    origin = ctx.resolver.resolve(node.func)
+    return origin == "numpy.sum"
+
+
+def _guarded_by_ancestor(ancestors: tuple[ast.AST, ...], ctx: RuleContext) -> bool:
+    """True when an enclosing If/IfExp test inspects a ``.sum()`` value.
+
+    The idiom ``x / x.sum() if x.sum() > 0 else fallback`` (and its
+    statement-level twin) is an explicit guard: the author proved the
+    denominator positive on the taken branch.
+    """
+    for node in reversed(ancestors):
+        test = None
+        if isinstance(node, (ast.IfExp, ast.If, ast.While)):
+            test = node.test
+        if test is not None:
+            for child in ast.walk(test):
+                if _is_sum_call(child, ctx) or isinstance(child, ast.Compare):
+                    return True
+    return False
+
+
+class UnguardedExpLogRule(Rule):
+    """NUM301: raw ``np.exp``/``np.log`` on an unclamped argument."""
+
+    code = "NUM301"
+    name = "unguarded-exp-log"
+    hint = (
+        "use repro.analysis.numerics (safe_exp, safe_log, stable_softmax, "
+        "stable_sigmoid, safe_xlogy) or clamp the argument with np.clip"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.module in SANCTIONED_NUMERIC_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolver.resolve(node.func)
+            if origin not in UNSAFE_TRANSCENDENTALS:
+                continue
+            if any(_contains_clamp(arg, ctx) for arg in node.args):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"raw '{origin}' on an unclamped input "
+                f"({UNSAFE_TRANSCENDENTALS[origin]})",
+            )
+
+
+class UnguardedSumDivisionRule(Rule):
+    """NUM302: normalisation by a ``.sum()`` that could be zero."""
+
+    code = "NUM302"
+    name = "unguarded-sum-division"
+    hint = (
+        "use repro.analysis.numerics.normalized (uniform fallback on a "
+        "non-positive total) or guard the division with an explicit sum check"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.module in SANCTIONED_NUMERIC_MODULES:
+            return
+        for node, ancestors in ctx.walk_scoped():
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+                continue
+            if not _is_sum_call(node.right, ctx):
+                continue
+            if _guarded_by_ancestor(ancestors, ctx):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "division by an unguarded '.sum()' — an all-zero input "
+                "produces NaNs that propagate silently",
+            )

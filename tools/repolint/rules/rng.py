@@ -1,0 +1,176 @@
+"""RNG- and wall-clock-discipline rules (the RNG1xx family).
+
+Bit-exact checkpoint/resume (PR 1) only holds if every random draw flows
+from a seeded, checkpointed :class:`numpy.random.Generator`.  These rules
+ban the three ways nondeterminism sneaks in: the legacy global numpy RNG,
+the stdlib ``random`` module, and ad-hoc ``SeedSequence`` construction
+outside seeded constructors.  Wall-clock reads are banned in the hot
+packages because they leak into control flow and break replayability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, Rule, RuleContext
+
+#: numpy.random module-level functions that draw from (or mutate) the hidden
+#: global RandomState.  ``default_rng`` / ``Generator`` / ``SeedSequence``
+#: are deliberately absent — they are the sanctioned replacements.
+LEGACY_NUMPY_RANDOM = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto", "permutation",
+    "poisson", "power", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "rayleigh", "sample", "seed",
+    "set_state", "shuffle", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "triangular",
+    "uniform", "vonmises", "wald", "weibull", "zipf",
+}
+
+#: stdlib ``random`` module functions (drawing from its hidden global state).
+STDLIB_RANDOM = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange", "sample",
+    "seed", "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Wall-clock reads that make hot-path behaviour time-dependent.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: The one module allowed to mint SeedSequences outside constructors.
+SANCTIONED_SEEDING_MODULE = "repro.rl.seeding"
+
+
+def _enclosing_function(ancestors: tuple[ast.AST, ...]) -> ast.AST | None:
+    for node in reversed(ancestors):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+class GlobalNumpyRandomRule(Rule):
+    """RNG101: calls into the legacy global ``numpy.random`` RandomState."""
+
+    code = "RNG101"
+    name = "global-numpy-random"
+    hint = (
+        "draw from an injected np.random.Generator "
+        "(np.random.default_rng(seed)) so the stream is seeded and checkpointable"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolver.resolve(node.func)
+            if origin is None:
+                continue
+            if (
+                origin.startswith("numpy.random.")
+                and origin.rsplit(".", 1)[1] in LEGACY_NUMPY_RANDOM
+            ):
+                yield self.finding(
+                    ctx, node, f"call to legacy global RNG '{origin}'"
+                )
+
+
+class StdlibRandomRule(Rule):
+    """RNG102: calls into the stdlib ``random`` module's hidden global state."""
+
+    code = "RNG102"
+    name = "stdlib-random"
+    hint = (
+        "route randomness through an injected np.random.Generator; "
+        "the stdlib 'random' global state is neither seeded nor checkpointed"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolver.resolve(node.func)
+            if origin is None:
+                continue
+            if (
+                origin.startswith("random.")
+                and origin.rsplit(".", 1)[1] in STDLIB_RANDOM
+            ):
+                yield self.finding(
+                    ctx, node, f"call to stdlib global RNG '{origin}'"
+                )
+
+
+class InlineSeedSequenceRule(Rule):
+    """RNG103: ``np.random.SeedSequence`` built outside a seeded constructor.
+
+    A SeedSequence minted per *call* silently forks a fresh stream every
+    invocation, so resumed runs replay different randomness than
+    uninterrupted ones.  SeedSequences belong in ``__init__`` (where they
+    become part of the object's seeded state) or in the sanctioned helpers
+    of :mod:`repro.rl.seeding`.
+    """
+
+    code = "RNG103"
+    name = "inline-seed-sequence"
+    hint = (
+        "derive streams in __init__ or via repro.rl.seeding "
+        "(e.g. task_rng(seed, task_id)) so one seed reproduces the whole run"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.module == SANCTIONED_SEEDING_MODULE:
+            return
+        for node, ancestors in ctx.walk_scoped():
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolver.resolve(node.func)
+            if origin != "numpy.random.SeedSequence":
+                continue
+            function = _enclosing_function(ancestors)
+            if (
+                isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and function.name == "__init__"
+            ):
+                continue
+            yield self.finding(
+                ctx, node, "SeedSequence constructed outside a seeded constructor"
+            )
+
+
+class WallClockRule(Rule):
+    """RNG104: wall-clock reads inside the deterministic hot packages."""
+
+    code = "RNG104"
+    name = "wall-clock"
+    hint = (
+        "core/rl/nn must be deterministic; take timestamps at the CLI/experiment "
+        "boundary and thread them in as arguments"
+    )
+
+    #: Packages whose behaviour must be a pure function of (inputs, seed).
+    scoped_packages = ("repro.core", "repro.rl", "repro.nn")
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.module_in(*self.scoped_packages):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolver.resolve(node.func)
+            if origin in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node, f"wall-clock read '{origin}' in a deterministic package"
+                )
