@@ -12,7 +12,7 @@ from repro.experiments.extras import (
     reward_cache_study,
     task_representation_study,
 )
-from repro.experiments.reporting import render_table
+from repro.analysis.reporting import render_table
 
 
 def test_reward_cache_speedup(benchmark, scale):

@@ -7,7 +7,7 @@ baselines at matching ratios.
 
 from benchmarks.conftest import archive, bench_datasets
 from repro.experiments import fig5
-from repro.experiments.reporting import winner_summary
+from repro.analysis.reporting import winner_summary
 
 
 def _ratios(scale):

@@ -6,7 +6,7 @@ The Fig. 5 sweep scored with AUC; same expected shape.
 from benchmarks.conftest import archive, bench_datasets
 from repro.experiments import fig6
 from repro.experiments.fig5 import DEFAULT_METHODS
-from repro.experiments.reporting import winner_summary
+from repro.analysis.reporting import winner_summary
 
 
 def _ratios(scale):

@@ -1,0 +1,128 @@
+"""Bench: static-analysis wall-time and rollout throughput.
+
+Two numbers guard the two costs this PR's whole-program analysis adds:
+
+* **lint wall-time** — the full-tree ``repolint`` pass (per-file rules plus
+  the import-graph / call-graph / effect passes) must stay fast enough to
+  run pre-commit and in CI on every push;
+* **rollout episodes/sec** — the refactors the certificate demanded
+  (``infer()`` inference path, allocation-free E-Tree descent, typed
+  ``env`` binding) touch the hottest loop in the codebase, so throughput
+  is recorded to catch regressions.
+
+Writes ``BENCH_static.json`` at the repo root::
+
+    python benchmarks/bench_repolint.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from tools.repolint import analyze_paths, build_program  # noqa: E402
+from tools.repolint.report import build_report  # noqa: E402
+
+LINT_TARGETS = (REPO_ROOT / "src", REPO_ROOT / "tools")
+ROLLOUT_EPISODES = 50
+
+
+def best_of(repeats: int, fn) -> tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_lint() -> dict:
+    wall, findings = best_of(3, lambda: analyze_paths(list(LINT_TARGETS)))
+    n_files = sum(1 for target in LINT_TARGETS for _ in target.rglob("*.py"))
+    return {
+        "targets": [str(t.relative_to(REPO_ROOT)) for t in LINT_TARGETS],
+        "files": n_files,
+        "findings": len(findings),
+        "wall_s": round(wall, 4),
+        "files_per_s": round(n_files / wall, 1) if wall else None,
+    }
+
+
+def bench_report() -> dict:
+    wall, program = best_of(2, lambda: build_program(REPO_ROOT / "src"))
+    assert program is not None
+    report_wall, report = best_of(2, lambda: build_report(program))
+    return {
+        "build_program_wall_s": round(wall, 4),
+        "build_report_wall_s": round(report_wall, 4),
+        "functions_classified": len(report["effects"]),
+        "import_edges": len(report["layers"]["edges"]),
+    }
+
+
+def bench_rollout() -> dict:
+    from repro.core.config import ClassifierConfig, EnvConfig, PAFeatConfig
+    from repro.core.pafeat import PAFeat
+    from repro.data.synthetic import SyntheticSpec, generate_suite
+
+    spec = SyntheticSpec(
+        name="bench-static",
+        n_instances=160,
+        n_features=12,
+        n_seen=3,
+        n_unseen=2,
+        task_informative=3,
+        n_concepts=2,
+        seed=77,
+    )
+    suite = generate_suite(spec)
+    train, _ = suite.split_rows(0.7, np.random.default_rng(0))
+    config = PAFeatConfig(
+        n_iterations=5,
+        episodes_per_iteration=2,
+        updates_per_iteration=2,
+        checkpoint_every=100,
+        seed=0,
+        env=EnvConfig(max_feature_ratio=0.6),
+        classifier=ClassifierConfig(n_epochs=5),
+    )
+    model = PAFeat(config).fit(train)
+    trainer = model.trainer
+    # Warm caches (reward memoisation) before timing.
+    trainer.buffer_filling(5)
+    start = time.perf_counter()
+    trainer.buffer_filling(ROLLOUT_EPISODES)
+    wall = time.perf_counter() - start
+    return {
+        "episodes": ROLLOUT_EPISODES,
+        "wall_s": round(wall, 4),
+        "episodes_per_s": round(ROLLOUT_EPISODES / wall, 1),
+    }
+
+
+def main() -> None:
+    payload = {
+        "generated_by": "benchmarks/bench_repolint.py",
+        "lint": bench_lint(),
+        "report": bench_report(),
+        "rollout": bench_rollout(),
+    }
+    out = REPO_ROOT / "BENCH_static.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,7 @@ w/o both is worst.
 
 from benchmarks.conftest import archive, bench_datasets
 from repro.experiments import table3
-from repro.experiments.reporting import winner_summary
+from repro.analysis.reporting import winner_summary
 
 
 def _variants(scale):

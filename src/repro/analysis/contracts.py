@@ -49,10 +49,15 @@ def contracts_enabled() -> bool:
 
 
 def set_contracts_enabled(enabled: bool) -> bool:
-    """Toggle contracts at runtime (tests/debugging); returns the old value."""
+    """Toggle contracts at runtime (tests/debugging); returns the old value.
+
+    The flag is deliberately process-global configuration — like
+    ``np.seterr``, it is flipped at startup or around a test, never from
+    the rollout path (PAR601 would flag any reachable caller).
+    """
     global _enabled
     previous = _enabled
-    _enabled = bool(enabled)
+    _enabled = bool(enabled)  # repolint: disable=PAR602
     return previous
 
 

@@ -18,8 +18,8 @@ import numpy as np
 from repro.baselines.base import FeatureSelector
 from repro.core.config import ClassifierConfig
 from repro.data.tasks import Task
-from repro.eval.classifier import MaskedMLPClassifier
-from repro.eval.reward import build_task_reward
+from repro.nn.classifier import MaskedMLPClassifier
+from repro.rl.reward import build_task_reward
 from repro.rl.seeding import task_rng
 
 

@@ -82,7 +82,7 @@ class PopArtAgent(DuelingDQNAgent):
         dones = np.array([t.done for t in batch], dtype=bool)
 
         # Unnormalised bootstrap target via the target network.
-        next_f = self.target.forward(next_states, training=False)
+        next_f = self.target.infer(next_states)
         next_q = stats.std * next_f + stats.mean
         unnormalised_targets = rewards + np.where(
             dones, 0.0, self.gamma * next_q.max(axis=1)

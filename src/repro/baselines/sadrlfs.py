@@ -19,8 +19,8 @@ from repro.core.feat import FEATTrainer
 from repro.core.state import state_dim
 from repro.data.stats import feature_redundancy_matrix, pearson_representation
 from repro.data.tasks import Task
-from repro.eval.classifier import MaskedMLPClassifier
-from repro.eval.reward import build_task_reward
+from repro.nn.classifier import MaskedMLPClassifier
+from repro.rl.reward import build_task_reward
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.schedules import LinearDecay
 from repro.rl.seeding import task_seed_sequence

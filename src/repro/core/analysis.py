@@ -129,7 +129,7 @@ def q_gap_statistics(model: PAFeat, task: Task) -> QGapStatistics:
 
 def render_explanation(decisions: list[Decision], max_rows: int = 20) -> str:
     """Human-readable table of a selection episode."""
-    from repro.experiments.reporting import render_table
+    from repro.analysis.reporting import render_table
 
     rows = [
         [

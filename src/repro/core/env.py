@@ -26,7 +26,7 @@ import numpy as np
 from repro.analysis.contracts import check_state_batch
 from repro.core.config import EnvConfig
 from repro.core.state import EnvState, encode_state, state_dim
-from repro.eval.reward import RewardFunction
+from repro.rl.reward import RewardFunction
 
 
 def _zero_reward(subset: Iterable[int]) -> float:

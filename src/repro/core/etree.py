@@ -149,13 +149,22 @@ class ETree:
             # frontier: exploring from here can reach genuinely new states.
             if len(node.children) < 2 and node.state.position < self.n_features:
                 break
-            scores = {
-                action: child.uct_score(node.visits, self.exploration_constant)
-                for action, child in node.children.items()
-            }
-            best = max(scores.values())
-            best_actions = [a for a, s in scores.items() if s == best]
-            action = int(rng.choice(best_actions)) if len(best_actions) > 1 else best_actions[0]
+            # Actions are binary (take/skip the scanned feature), so the
+            # UCT argmax is a direct comparison over at most two children —
+            # no per-level dict/list construction on this hot descent loop.
+            items = iter(node.children.items())
+            action, child = next(items)
+            best_score = child.uct_score(node.visits, self.exploration_constant)
+            for other_action, other_child in items:
+                other_score = other_child.uct_score(
+                    node.visits, self.exploration_constant
+                )
+                if other_score > best_score:
+                    action, best_score = other_action, other_score
+                elif other_score == best_score:
+                    # Tie: draw between the two, first-inserted first, which
+                    # matches the previous dict-comprehension tie-breaking.
+                    action = int(rng.choice((action, other_action)))
             node = node.children[action]
         return node.state
 

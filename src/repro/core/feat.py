@@ -125,7 +125,10 @@ class FEATTrainer:
         picks uniform actions (used by the Go-Explore baseline and the
         w/o-PE ablation when restarting from customised states).
         """
-        env = self.envs[task_id]
+        # Annotated so static call resolution binds env.step/reset to
+        # FeatureSelectionEnv (the effect analysis can't see through the
+        # Mapping element type).
+        env: FeatureSelectionEnv = self.envs[task_id]
         state = env.reset() if start is None else env.reset_to(start)
         trajectory = Trajectory(task_id=task_id)
         final_score = env.reward_fn(env.selected) if env.selected else 0.0
@@ -164,8 +167,14 @@ class FEATTrainer:
         trajectory.final_reward = float(final_score)
         return trajectory
 
-    def collect_episodes(self, n_episodes: int) -> dict[int, list[Trajectory]]:
-        """Buffer Filling Phase: N resources → N episodes into buffers."""
+    def buffer_filling(self, n_episodes: int) -> dict[int, list[Trajectory]]:
+        """Buffer Filling Phase (Algorithm 1): N resources → N episodes.
+
+        This is the loop the parallel-safety certificate (PAR601) guards:
+        every function reachable from here either touches no shared state
+        or is a declared sync point, so the N rollout resources can become
+        real workers without re-auditing the call tree.
+        """
         collected: dict[int, list[Trajectory]] = {}
         for _ in range(n_episodes):
             task_id = self.task_sampler(self.registry, self._rng)
@@ -185,12 +194,16 @@ class FEATTrainer:
             collected.setdefault(task_id, []).append(trajectory)
         return collected
 
+    def collect_episodes(self, n_episodes: int) -> dict[int, list[Trajectory]]:
+        """Backwards-compatible alias for :meth:`buffer_filling`."""
+        return self.buffer_filling(n_episodes)
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
     def train_iteration(self, iteration: int) -> IterationStats:
         """One outer iteration: fill buffers, then K update rounds."""
-        collected = self.collect_episodes(self.config.episodes_per_iteration)
+        collected = self.buffer_filling(self.config.episodes_per_iteration)
         losses: list[float] = []
         for _ in range(self.config.updates_per_iteration):
             for task_id in self.registry.non_empty_task_ids():

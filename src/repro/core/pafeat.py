@@ -30,8 +30,8 @@ from repro.core.ite import IntraTaskExplorer
 from repro.core.its import InterTaskScheduler
 from repro.data.stats import feature_redundancy_matrix, pearson_representation
 from repro.data.tasks import Task, TaskSuite
-from repro.eval.classifier import MaskedMLPClassifier
-from repro.eval.reward import RewardFunction, build_task_reward
+from repro.nn.classifier import MaskedMLPClassifier
+from repro.rl.reward import RewardFunction, build_task_reward
 
 if TYPE_CHECKING:
     from repro.rl.agent import DuelingDQNAgent
@@ -446,7 +446,7 @@ class PAFeat:
 
         The classifier fits on a train portion of the task's rows; the
         reward scores subsets on the held-out remainder, keeping the
-        landscape informative (see :func:`repro.eval.reward.build_task_reward`).
+        landscape informative (see :func:`repro.rl.reward.build_task_reward`).
         """
         config = self.config.classifier
         seed = int(self._seed_sequence.spawn(1)[0].generate_state(1)[0])

@@ -101,7 +101,10 @@ def encode_state(
         raise ValueError(
             f"position {state.position} out of range for {n_features} features"
         )
-    encoded = np.zeros(state_dim(n_features))
+    # The encoding must be a fresh array: it escapes into replay-buffer
+    # transitions, so reusing a preallocated buffer would alias every
+    # stored state to the latest step.
+    encoded = np.zeros(state_dim(n_features))  # repolint: disable=HOT701
     encoded[:n_features] = task_representation
     selected_idx = np.asarray(state.selected, dtype=np.int64)
     if state.selected:

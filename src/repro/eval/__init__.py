@@ -1,13 +1,14 @@
-"""Evaluation substrate: metrics, classifiers and the RL reward function.
+"""Evaluation substrate: metrics and downstream classifiers.
 
-The reward (paper Eqn. 2) is the score of a classifier *pretrained on all
-features* and evaluated on masked inputs — :class:`MaskedMLPClassifier`
-plays that role.  Downstream quality of a selected subset is measured by
-training a fresh :class:`LinearSVM` on the projected features, exactly as
-the paper's evaluation protocol prescribes.
+Downstream quality of a selected subset is measured by training a fresh
+:class:`LinearSVM` on the projected features, exactly as the paper's
+evaluation protocol prescribes.  The reward-model classifier lives in
+:mod:`repro.nn.classifier` and the reward function itself in
+:mod:`repro.rl.reward` — ``eval`` sits below both in the layer contract
+(see ``[tool.repolint.layers]``), so it only provides the metric and SVM
+primitives they build on.
 """
 
-from repro.eval.classifier import MaskedMLPClassifier
 from repro.eval.metrics import (
     accuracy_score,
     confusion_counts,
@@ -16,13 +17,10 @@ from repro.eval.metrics import (
     recall_score,
     roc_auc_score,
 )
-from repro.eval.reward import RewardFunction
 from repro.eval.svm import LinearSVM, evaluate_subset_with_svm
 
 __all__ = [
     "LinearSVM",
-    "MaskedMLPClassifier",
-    "RewardFunction",
     "accuracy_score",
     "confusion_counts",
     "evaluate_subset_with_svm",

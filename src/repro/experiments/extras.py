@@ -19,7 +19,7 @@ from repro.core.config import ITEConfig
 from repro.core.pafeat import PAFeat
 from repro.data.stats import mutual_information_scores, pearson_representation
 from repro.data.tasks import Task
-from repro.eval.reward import RewardFunction
+from repro.rl.reward import RewardFunction
 from repro.experiments.runner import (
     evaluate_selection,
     load_suite,

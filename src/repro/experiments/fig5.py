@@ -15,11 +15,12 @@ curve rises then saturates, while baselines can flatten or dip at high mfr.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.reporting import render_series
+from repro.analysis.reporting import render_series
 from repro.experiments.runner import load_suite, run_method, scale_params
 
 DEFAULT_METHODS = ("pa-feat", "popart", "go-explore", "rr", "grro-ls", "ant-td", "mdfs")
@@ -38,8 +39,34 @@ class SweepResult:
     series_by_metric: dict[str, dict[str, list[float]]] = field(default_factory=dict)
 
 
-#: Memo of completed sweeps: key → {"f1": {...}, "auc": {...}} series maps.
-_SWEEP_CACHE: dict[tuple, dict[str, dict[str, list[float]]]] = {}
+class SweepCache:
+    """Thread-safe memo of completed sweeps, keyed by the full sweep spec.
+
+    A class (rather than a bare module-level dict) so the shared state has
+    one owner with a lock: concurrent figure runs serialize on lookup and
+    store instead of racing on dict internals, and tests can clear it
+    atomically.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._store: dict[tuple, dict[str, dict[str, list[float]]]] = {}
+
+    def get(self, key: tuple) -> dict[str, dict[str, list[float]]] | None:
+        with self._lock:
+            return self._store.get(key)
+
+    def store(self, key: tuple, series: dict[str, dict[str, list[float]]]) -> None:
+        with self._lock:
+            self._store[key] = series
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+
+#: Process-wide memo shared by fig5 and fig6 (fig6 reuses fig5's sweep).
+_SWEEP_CACHE = SweepCache()
 
 
 def _sweep_both_metrics(
@@ -52,8 +79,9 @@ def _sweep_both_metrics(
 ) -> dict[str, dict[str, list[float]]]:
     """One pass over (method × ratio × run) recording F1 and AUC."""
     key = (dataset, scale, tuple(methods), tuple(ratios), runs, base_seed)
-    if key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
     suite = load_suite(dataset, scale)
     series: dict[str, dict[str, list[float]]] = {"f1": {}, "auc": {}}
     for method in methods:
@@ -73,7 +101,7 @@ def _sweep_both_metrics(
             auc_values.append(float(np.mean(auc_runs)))
         series["f1"][method] = f1_values
         series["auc"][method] = auc_values
-    _SWEEP_CACHE[key] = series
+    _SWEEP_CACHE.store(key, series)
     return series
 
 

@@ -12,7 +12,7 @@ from repro.experiments.fig5 import (
     SweepResult,
     run_sweep,
 )
-from repro.experiments.reporting import render_series
+from repro.analysis.reporting import render_series
 
 
 def run(

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.reporting import render_table
+from repro.analysis.reporting import render_table
 from repro.experiments.runner import load_suite, run_method
 
 DEFAULT_METHODS = ("pa-feat", "k-best", "rfe", "sadrlfs", "marlfs")

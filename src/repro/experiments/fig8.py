@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.its import distance_ratio
 from repro.core.pafeat import PAFeat
-from repro.experiments.reporting import render_table
+from repro.analysis.reporting import render_table
 from repro.experiments.runner import load_suite, make_config
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pafeat import PAFeat
-from repro.experiments.reporting import render_series
+from repro.analysis.reporting import render_series
 from repro.experiments.runner import evaluate_selection, load_suite, make_config
 
 

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 from repro.data.catalog import DATASETS, load_mini_dataset
 from repro.data.synthetic import generate_suite
-from repro.experiments.reporting import render_table
+from repro.analysis.reporting import render_table
 
 
 @dataclass(frozen=True)

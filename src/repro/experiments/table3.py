@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.reporting import render_table
+from repro.analysis.reporting import render_table
 from repro.experiments.runner import load_suite, run_method, scale_params
 
 VARIANTS = ("pa-feat", "pa-feat-no-its", "pa-feat-no-ite", "pa-feat-no-both", "pa-feat-no-pe")

@@ -18,6 +18,7 @@ The API is intentionally close to the familiar ``torch.nn`` shape::
     opt.step()
 """
 
+from repro.nn.classifier import MaskedMLPClassifier
 from repro.nn.dueling import DuelingHead, DuelingNetwork
 from repro.nn.initializers import he_init, xavier_init, zeros_init
 from repro.nn.layers import (
@@ -46,6 +47,7 @@ __all__ = [
     "Linear",
     "MLP",
     "MSELoss",
+    "MaskedMLPClassifier",
     "Optimizer",
     "Parameter",
     "ReLU",

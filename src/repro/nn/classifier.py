@@ -131,7 +131,7 @@ class MaskedMLPClassifier:
             mask[idx] = True
             x = x.copy()
             x[:, ~mask] = 0.0
-        return self._net.forward(x, training=False).reshape(-1)
+        return self._net.infer(x).reshape(-1)
 
     def score(
         self,

@@ -35,6 +35,12 @@ class DuelingHead(Layer):
         centred = advantage - advantage.mean(axis=1, keepdims=True)
         return value + centred
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        value = self.value_head.infer(x)
+        advantage = self.advantage_head.infer(x)
+        centred = advantage - advantage.mean(axis=1, keepdims=True)
+        return value + centred
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = np.atleast_2d(grad_output)
         # dQ/dV broadcasts: each action's gradient contributes to the scalar V.

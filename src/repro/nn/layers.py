@@ -47,6 +47,19 @@ class Layer:
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Pure inference pass: no activation caching, no RNG, no writes.
+
+        ``forward(training=False)`` still *contains* cache-write statements
+        (behind the ``training`` guard), so a static effect analysis must
+        treat it as mutating.  ``infer`` is the statically-read-only path the
+        rollout uses: the PAR601 parallel-safety certificate relies on every
+        network evaluation reachable from ``Agent.act`` going through here.
+        Deliberately not defaulting to ``forward`` — a subclass without a
+        pure path must say so.
+        """
+        raise NotImplementedError
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Backpropagate ``grad_output`` (dL/d output) to dL/d input."""
         raise NotImplementedError
@@ -104,6 +117,17 @@ class Linear(Layer):
             out = out + self.bias.value
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, got {x.shape[1]}"
+            )
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward(training=True)")
@@ -132,6 +156,9 @@ class ReLU(Layer):
             self._mask = x > 0.0
         return np.maximum(x, 0.0)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward(training=True)")
@@ -149,6 +176,9 @@ class Tanh(Layer):
         if training:
             self._out = out
         return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(np.asarray(x, dtype=np.float64))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
@@ -168,6 +198,9 @@ class Sigmoid(Layer):
         if training:
             self._out = out
         return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return stable_sigmoid(np.asarray(x, dtype=np.float64))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
@@ -194,6 +227,11 @@ class Dropout(Layer):
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Inverted dropout is the identity at inference: no mask is drawn,
+        # the shared RNG is untouched and no mask state is (re)written.
+        return np.asarray(x, dtype=np.float64)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output
@@ -211,6 +249,11 @@ class Sequential(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training=training)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.infer(x)
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -7,6 +7,7 @@ Task-agnostic pieces live here; everything specific to feature selection
 
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.replay import ReplayBuffer, ReplayRegistry
+from repro.rl.reward import RewardFunction, build_task_reward
 from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
 from repro.rl.seeding import (
     derive_seed,
@@ -23,8 +24,10 @@ __all__ = [
     "LinearDecay",
     "ReplayBuffer",
     "ReplayRegistry",
+    "RewardFunction",
     "Trajectory",
     "Transition",
+    "build_task_reward",
     "derive_seed",
     "spawn_generators",
     "task_rng",

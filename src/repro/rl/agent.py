@@ -66,7 +66,7 @@ class DuelingDQNAgent:
         """Online-network Q(s, ·) for a batch (or single) state."""
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
         check_state_batch("agent.q_values", states, self.state_dim)
-        return self.online.forward(states, training=False)
+        return self.online.infer(states)
 
     def act(self, state: np.ndarray, greedy: bool = False) -> int:
         """Epsilon-greedy action; ``greedy=True`` disables exploration."""
@@ -131,10 +131,10 @@ class DuelingDQNAgent:
         rewards = np.array([t.reward for t in batch], dtype=np.float64)
         dones = np.array([t.done for t in batch], dtype=bool)
 
-        next_q_target = self.target.forward(next_states, training=False)
+        next_q_target = self.target.infer(next_states)
         if self.double_dqn:
             # Double DQN: online network picks the action, target scores it.
-            next_q_online = self.online.forward(next_states, training=False)
+            next_q_online = self.online.infer(next_states)
             best_actions = next_q_online.argmax(axis=1)
             bootstrap = next_q_target[np.arange(len(batch)), best_actions]
         else:
@@ -152,7 +152,7 @@ class DuelingDQNAgent:
     def td_errors(self, batch: Sequence[Transition]) -> np.ndarray:
         """Per-sample |target − Q(s, a)| — priorities for prioritized replay."""
         states, actions, targets = self.compute_targets(batch)
-        q_all = self.online.forward(states, training=False)
+        q_all = self.online.infer(states)
         predictions = q_all[np.arange(len(batch)), actions]
         return np.abs(targets - predictions)
 

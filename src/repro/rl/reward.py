@@ -15,7 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.analysis.contracts import check_scalar_range
-from repro.eval.classifier import MaskedMLPClassifier
+from repro.nn.classifier import MaskedMLPClassifier
 
 
 def build_task_reward(

@@ -6,8 +6,8 @@ import pytest
 from repro.core.config import EnvConfig
 from repro.core.env import FeatureSelectionEnv
 from repro.core.state import EnvState, N_SCAN_SCALARS, encode_state, state_dim
-from repro.eval.classifier import MaskedMLPClassifier
-from repro.eval.reward import build_task_reward
+from repro.nn.classifier import MaskedMLPClassifier
+from repro.rl.reward import build_task_reward
 
 
 class TestEnvState:

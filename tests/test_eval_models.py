@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.eval.classifier import MaskedMLPClassifier
+from repro.nn.classifier import MaskedMLPClassifier
 from repro.eval.kernel import KernelRidgeClassifier
-from repro.eval.reward import RewardFunction, build_task_reward
+from repro.rl.reward import RewardFunction, build_task_reward
 from repro.eval.svm import LinearSVM, evaluate_subset_with_svm
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments import reporting
+from repro.analysis import reporting
 from repro.experiments.runner import (
     ALL_METHOD_NAMES,
     MethodResult,

@@ -1,6 +1,10 @@
-"""repro-lint: determinism- and contract-checking static analysis.
+"""repro-lint: determinism, contract and whole-program static analysis.
 
-AST-based, project-specific rules over the PA-FEAT reproduction:
+AST-based, project-specific rules over the PA-FEAT reproduction.  Per-file
+rules check one parsed module at a time; whole-program rules (ARCH/PAR/HOT)
+parse the entire ``src/repro`` package, build import and call graphs, infer
+per-function effects and check them against the contracts declared under
+``[tool.repolint]`` in ``pyproject.toml``:
 
 =======  ==========================  ==================================================
 Code     Name                        Catches
@@ -14,20 +18,35 @@ NUM301   unguarded-exp-log           raw ``np.exp``/``np.log`` on unclamped inpu
 NUM302   unguarded-sum-division      normalisation by a possibly-zero ``.sum()``
 API401   mutable-default-arg         shared mutable default arguments
 API402   all-drift                   ``__all__`` out of sync with bound names
+ARCH501  layer-upward-import         imports against the declared layer order
+ARCH502  import-cycle                import-time cycles between package modules
+ARCH503  undeclared-layer            subpackages missing from the layer contract
+PAR601   rollout-shared-mutation     unsanctioned shared-state writes reachable
+                                     from the rollout entry points
+PAR602   module-state-mutation       functions mutating module-level state
+HOT701   hotpath-allocation          per-step numpy allocations / loop growth in
+                                     functions tagged hot
 =======  ==========================  ==================================================
 
 Run ``python -m tools.repolint src/`` (or ``--changed`` for a fast path over
-the git-modified set).  Suppress a single line with
+the git-modified set), pick an output with ``--format={text,json,sarif}``,
+and dump the layer graph + effect table with
+``python -m tools.repolint report``.  Suppress a single line with
 ``# repolint: disable=CODE`` and add rules in ``tools/repolint/rules/``.
 """
 
+from tools.repolint.config import RepolintConfig, load_config
 from tools.repolint.engine import (
     Finding,
+    ProgramContext,
+    ProgramFile,
+    ProgramRule,
     Rule,
     RuleContext,
     analyze_file,
     analyze_paths,
     analyze_source,
+    build_program,
     iter_python_files,
     module_for_path,
     suppressed_codes_by_line,
@@ -36,14 +55,20 @@ from tools.repolint.rules import RULE_CLASSES, all_rules, rule_catalog
 
 __all__ = [
     "Finding",
+    "ProgramContext",
+    "ProgramFile",
+    "ProgramRule",
     "RULE_CLASSES",
+    "RepolintConfig",
     "Rule",
     "RuleContext",
     "all_rules",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "build_program",
     "iter_python_files",
+    "load_config",
     "module_for_path",
     "rule_catalog",
     "suppressed_codes_by_line",

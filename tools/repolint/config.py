@@ -1,0 +1,215 @@
+"""Whole-program analysis configuration, loaded from ``pyproject.toml``.
+
+The layer contract, parallel-safety certificate and hot-path tags all live
+under ``[tool.repolint]`` so they version with the code they constrain.
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 (still in the CI
+matrix) a small TOML-subset parser handles the constructs this repo's
+pyproject actually uses — tables, strings, integers, booleans and (possibly
+multiline) arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 only
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class RepolintConfig:
+    """Parsed ``[tool.repolint]`` contract."""
+
+    package: str = "repro"
+    src_root: str = "src"
+    layer_ranks: Mapping[str, int] = field(default_factory=dict)
+    free_layers: frozenset[str] = frozenset()
+    entry_points: tuple[str, ...] = ()
+    sync_points: frozenset[str] = frozenset()
+    extra_edges: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    hot_functions: frozenset[str] = frozenset()
+
+    @property
+    def top_rank(self) -> int:
+        """Rank assigned to the package root (it may import everything)."""
+        return max(self.layer_ranks.values(), default=0) + 1
+
+    def rank_for_layer(self, layer: str) -> int | None:
+        """Rank of a layer name, or None when undeclared/free.
+
+        The package root (``repro`` itself plus dunder modules like
+        ``repro.__main__``) is a facade that re-exports the public API, so
+        it is treated like a free layer: it may import everything and
+        everything may import it.
+        """
+        if layer in self.free_layers or layer in ("<root>", "__main__", "__init__"):
+            return None
+        return self.layer_ranks.get(layer)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "RepolintConfig":
+        """Build from the ``[tool.repolint]`` table of a parsed pyproject."""
+        layers = data.get("layers", {})
+        parallel = data.get("parallel", {})
+        hotpath = data.get("hotpath", {})
+        return cls(
+            package=str(data.get("package", "repro")),
+            src_root=str(data.get("src-root", "src")),
+            layer_ranks={
+                str(name): int(rank)
+                for name, rank in dict(layers.get("ranks", {})).items()
+            },
+            free_layers=frozenset(str(n) for n in layers.get("free", [])),
+            entry_points=tuple(str(n) for n in parallel.get("entry-points", [])),
+            sync_points=frozenset(str(n) for n in parallel.get("sync-points", [])),
+            extra_edges={
+                str(src): tuple(str(dst) for dst in dsts)
+                for src, dsts in dict(parallel.get("extra-edges", {})).items()
+            },
+            hot_functions=frozenset(str(n) for n in hotpath.get("functions", [])),
+        )
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(start: Path | str | None = None) -> RepolintConfig:
+    """Config for the project owning ``start`` (default: cwd).
+
+    Missing pyproject or a pyproject without ``[tool.repolint]`` yields an
+    empty config — the whole-program rules then have nothing to check, so
+    per-file linting keeps working in any tree.
+    """
+    pyproject = find_pyproject(Path(start) if start is not None else Path.cwd())
+    if pyproject is None:
+        return RepolintConfig()
+    data = parse_toml(pyproject.read_text(encoding="utf-8"))
+    tool = data.get("tool", {})
+    section = tool.get("repolint", {}) if isinstance(tool, dict) else {}
+    if not isinstance(section, dict):
+        return RepolintConfig()
+    return RepolintConfig.from_mapping(section)
+
+
+def parse_toml(text: str) -> dict[str, Any]:
+    """Parse TOML, via tomllib when available, else the subset parser."""
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return _parse_toml_subset(text)
+
+
+# --- TOML-subset fallback (Python 3.10) ------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a double-quoted string."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_scalar(token: str) -> Any:
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token in ("true", "false"):
+        return token == "true"
+    try:
+        return int(token)
+    except ValueError:
+        try:
+            return float(token)
+        except ValueError:
+            return token
+
+
+def _split_array_items(body: str) -> list[str]:
+    """Split an array body on commas that sit outside strings/brackets."""
+    items: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for char in body:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif not in_string and char == "[":
+            depth += 1
+            current.append(char)
+        elif not in_string and char == "]":
+            depth -= 1
+            current.append(char)
+        elif not in_string and depth == 0 and char == ",":
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+def _parse_value(token: str) -> Any:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        return [_parse_value(item) for item in _split_array_items(token[1:-1])]
+    return _parse_scalar(token)
+
+
+def _parse_key(token: str) -> str:
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    return token
+
+
+def _table_for(root: dict[str, Any], dotted: str) -> dict[str, Any]:
+    table = root
+    for part in dotted.split("."):
+        table = table.setdefault(_parse_key(part), {})
+    return table
+
+
+def _parse_toml_subset(text: str) -> dict[str, Any]:
+    """Tables + ``key = value`` pairs with scalar/array values; no inline
+    tables, no arrays-of-tables, no escape sequences inside strings."""
+    root: dict[str, Any] = {}
+    table = root
+    pending = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if pending:
+            line = pending + " " + line
+            pending = ""
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]") and "=" not in line.split("]")[0]:
+            table = _table_for(root, line[1:-1].strip())
+            continue
+        if "=" not in line:
+            continue
+        key_part, value_part = line.split("=", 1)
+        # Multiline arrays: keep accumulating until brackets balance.
+        if value_part.count("[") > value_part.count("]"):
+            pending = line
+            continue
+        table[_parse_key(key_part)] = _parse_value(value_part)
+    return root

@@ -1,19 +1,29 @@
 """repolint core: findings, suppressions, import resolution and the analyzer.
 
 The engine is deliberately self-contained (stdlib only) so it can run in any
-environment that can run the repo itself.  Rules are small classes over the
-``ast`` module; the engine parses each file once, hands every rule the same
-:class:`RuleContext`, and filters the merged findings through per-line
-``# repolint: disable=CODE`` suppression comments.
+environment that can run the repo itself.  Rules come in two shapes:
+
+* per-file :class:`Rule` — the engine parses each file once, hands every
+  rule the same :class:`RuleContext`, and filters the merged findings
+  through per-line ``# repolint: disable=CODE`` suppression comments;
+* whole-program :class:`ProgramRule` — the engine additionally parses the
+  *entire* configured package (even when only a subset of files was
+  requested, so import-layer and call-graph facts are never truncated),
+  builds a :class:`ProgramContext`, runs each program rule once, and keeps
+  only the findings that land in requested files.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 import re
 from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from tools.repolint.config import RepolintConfig, find_pyproject, load_config
 
 SUPPRESS_PATTERN = re.compile(r"#\s*repolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -141,12 +151,130 @@ class RuleContext:
         yield from visit(self.tree, ())
 
 
-def module_for_path(path: Path) -> str | None:
-    """Infer the dotted module for a file living under a ``repro`` tree."""
+@dataclass
+class ProgramFile:
+    """One parsed module of the analyzed program."""
+
+    path: Path
+    module: str
+    tree: ast.Module
+    source_lines: list[str]
+
+
+class ProgramContext:
+    """Whole-program facts: parsed modules plus derived graphs and effects.
+
+    The graphs are cached properties so per-file-only runs never pay for
+    them, and every program rule shares one instance.
+    """
+
+    def __init__(self, files: Sequence[ProgramFile], config: RepolintConfig):
+        self.config = config
+        self.files: dict[str, ProgramFile] = {file.module: file for file in files}
+
+    @classmethod
+    def from_sources(
+        cls, sources: Mapping[str, str], config: RepolintConfig
+    ) -> "ProgramContext":
+        """Build from ``{dotted_module: source}`` — the test entry point."""
+        files = []
+        for module, source in sources.items():
+            files.append(
+                ProgramFile(
+                    path=Path(module.replace(".", "/") + ".py"),
+                    module=module,
+                    tree=ast.parse(source),
+                    source_lines=source.splitlines(),
+                )
+            )
+        return cls(files, config)
+
+    @classmethod
+    def from_package(cls, package_dir: Path, config: RepolintConfig) -> "ProgramContext":
+        """Parse every module under the installed package directory."""
+        files = []
+        for path in iter_python_files([package_dir]):
+            module = module_for_path(path, package=config.package)
+            if module is None:
+                continue
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue  # unreadable/unparsable files carry PARSE001 instead
+            display = Path(os.path.relpath(path, Path.cwd()))
+            files.append(
+                ProgramFile(
+                    path=display,
+                    module=module,
+                    tree=tree,
+                    source_lines=source.splitlines(),
+                )
+            )
+        return cls(files, config)
+
+    @cached_property
+    def import_graph(self):  # -> ImportGraph
+        from tools.repolint.graphs.imports import build_import_graph
+
+        return build_import_graph(self.files.values(), self.config)
+
+    @cached_property
+    def index(self):  # -> ProgramIndex
+        from tools.repolint.graphs.calls import build_program_index
+
+        return build_program_index(self.files.values(), self.config)
+
+    @cached_property
+    def call_graph(self):  # -> CallGraph
+        from tools.repolint.graphs.calls import build_call_graph
+
+        return build_call_graph(self.index)
+
+    @cached_property
+    def effects(self):  # -> dict[str, FunctionEffect]
+        from tools.repolint.effects import infer_effects
+
+        return infer_effects(self.index)
+
+    def file_for(self, module: str) -> ProgramFile | None:
+        return self.files.get(module)
+
+
+class ProgramRule(Rule):
+    """Base class for rules that need the whole program."""
+
+    def check(self, ctx: "RuleContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def program_finding(
+        self,
+        program: ProgramContext,
+        module: str,
+        line: int,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        file = program.file_for(module)
+        return Finding(
+            path=str(file.path) if file is not None else module,
+            line=line,
+            col=1,
+            code=self.code,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def module_for_path(path: Path, package: str = "repro") -> str | None:
+    """Infer the dotted module for a file living under a ``package`` tree."""
     parts = list(path.resolve().with_suffix("").parts)
-    if "repro" not in parts:
+    if package not in parts:
         return None
-    index = parts.index("repro")
+    index = parts.index(package)
     dotted = ".".join(parts[index:])
     if dotted.endswith(".__init__"):
         dotted = dotted[: -len(".__init__")]
@@ -172,13 +300,37 @@ def default_rules() -> list[Rule]:
     return all_rules()
 
 
+def _filter_suppressed(
+    findings: Iterable[Finding], suppressed: Mapping[int, set[str]]
+) -> list[Finding]:
+    return [
+        finding
+        for finding in findings
+        if not (
+            finding.line in suppressed
+            and (
+                finding.code in suppressed[finding.line]
+                or "all" in suppressed[finding.line]
+            )
+        )
+    ]
+
+
 def analyze_source(
     source: str,
     path: Path | str,
     module: str | None = None,
     rules: Sequence[Rule] | None = None,
+    config: RepolintConfig | None = None,
+    extra_sources: Mapping[str, str] | None = None,
 ) -> list[Finding]:
-    """Run every rule over one source blob and filter suppressions."""
+    """Run every rule over one source blob and filter suppressions.
+
+    Per-file rules always run.  Program rules run only when an explicit
+    ``config`` is given: the blob (plus any ``extra_sources``, a mapping of
+    dotted module name to source) then forms the whole program, which keeps
+    snippet-level tests hermetic.
+    """
     path = Path(path)
     if rules is None:
         rules = default_rules()
@@ -196,27 +348,35 @@ def analyze_source(
             )
         ]
     source_lines = source.splitlines()
+    module = module if module is not None else module_for_path(path)
     ctx = RuleContext(
         path=path,
-        module=module if module is not None else module_for_path(path),
+        module=module,
         tree=tree,
         source_lines=source_lines,
     )
     findings: list[Finding] = []
     for rule in rules:
-        findings.extend(rule.check(ctx))
-    suppressed = suppressed_codes_by_line(source_lines)
-    kept = [
-        finding
-        for finding in findings
-        if not (
-            finding.line in suppressed
-            and (
-                finding.code in suppressed[finding.line]
-                or "all" in suppressed[finding.line]
-            )
-        )
-    ]
+        if not isinstance(rule, ProgramRule):
+            findings.extend(rule.check(ctx))
+    if config is not None:
+        program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
+        if program_rules:
+            sources: dict[str, str] = dict(extra_sources or {})
+            sources[module or path.stem] = source
+            program = ProgramContext.from_sources(sources, config)
+            # Point the blob's ProgramFile at the caller-visible path.
+            blob = program.file_for(module or path.stem)
+            if blob is not None:
+                blob.path = path
+            target = {str(path)}
+            for rule in program_rules:
+                findings.extend(
+                    finding
+                    for finding in rule.check_program(program)
+                    if finding.path in target
+                )
+    kept = _filter_suppressed(findings, suppressed_codes_by_line(source_lines))
     return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
 
 
@@ -238,12 +398,76 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             yield path
 
 
+def locate_package_dir(
+    anchor: Path | str | None = None, config: RepolintConfig | None = None
+) -> tuple[Path, RepolintConfig] | None:
+    """(package directory, config) for the project owning ``anchor``."""
+    anchor_path = Path(anchor) if anchor is not None else Path.cwd()
+    if config is None:
+        config = load_config(anchor_path)
+    pyproject = find_pyproject(anchor_path)
+    if pyproject is None:
+        return None
+    package_dir = pyproject.parent / config.src_root / config.package
+    if not package_dir.is_dir():
+        return None
+    return package_dir, config
+
+
+def build_program(
+    anchor: Path | str | None = None, config: RepolintConfig | None = None
+) -> ProgramContext | None:
+    """ProgramContext for the package owning ``anchor`` (default: cwd)."""
+    located = locate_package_dir(anchor, config)
+    if located is None:
+        return None
+    package_dir, config = located
+    return ProgramContext.from_package(package_dir, config)
+
+
 def analyze_paths(
-    paths: Iterable[Path | str], rules: Sequence[Rule] | None = None
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+    config: RepolintConfig | None = None,
 ) -> list[Finding]:
+    """Per-file rules over every target, plus program rules over the package.
+
+    Program rules always analyze the complete configured package so that
+    partial runs (``--changed``, a single file) still see whole-program
+    facts; their findings are then restricted to the requested targets.
+    """
     if rules is None:
         rules = default_rules()
+    file_rules = [rule for rule in rules if not isinstance(rule, ProgramRule)]
+    program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(analyze_file(path, rules=rules))
+    targets = list(iter_python_files(paths))
+    for path in targets:
+        findings.extend(analyze_file(path, rules=file_rules))
+    if program_rules and targets:
+        located = locate_package_dir(targets[0], config=config)
+        target_set = {path.resolve() for path in targets}
+        if located is not None and any(
+            path.is_relative_to(located[0].resolve()) for path in target_set
+        ):
+            program = ProgramContext.from_package(*located)
+            in_program = {
+                str(file.path): file
+                for file in program.files.values()
+                if file.path.resolve() in target_set
+            }
+            if in_program:
+                program_findings: list[Finding] = []
+                for rule in program_rules:
+                    program_findings.extend(rule.check_program(program))
+                for finding in program_findings:
+                    file = in_program.get(finding.path)
+                    if file is None:
+                        continue
+                    findings.extend(
+                        _filter_suppressed(
+                            [finding],
+                            suppressed_codes_by_line(file.source_lines),
+                        )
+                    )
     return findings

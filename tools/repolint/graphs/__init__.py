@@ -1,0 +1,18 @@
+"""Whole-program graphs: module import graph and function call graph."""
+
+from tools.repolint.graphs.calls import CallGraph, build_call_graph
+from tools.repolint.graphs.imports import (
+    ImportEdge,
+    ImportGraph,
+    build_import_graph,
+    find_cycles,
+)
+
+__all__ = [
+    "CallGraph",
+    "ImportEdge",
+    "ImportGraph",
+    "build_call_graph",
+    "build_import_graph",
+    "find_cycles",
+]

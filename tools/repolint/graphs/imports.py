@@ -1,0 +1,202 @@
+"""Module import graph over the analyzed package.
+
+Edges are extracted from ``import`` / ``from ... import`` statements and
+resolved against the set of modules that actually exist in the program, so
+``from repro.core.config import AgentConfig`` becomes an edge to
+``repro.core.config`` (the module), not to a class.  Each edge remembers
+whether it executes at import time (module scope) or lazily inside a
+function — the layer contract constrains *all* edges, while cycle detection
+only considers import-time edges because deferred imports cannot deadlock
+module initialization.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from tools.repolint.config import RepolintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from tools.repolint.engine import ProgramFile
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """``source`` imports ``target`` at ``line`` (both dotted modules)."""
+
+    source: str
+    target: str
+    line: int
+    top_level: bool
+
+
+@dataclass
+class ImportGraph:
+    """Import relationships plus the layer rank of every program module."""
+
+    modules: tuple[str, ...]
+    edges: tuple[ImportEdge, ...]
+    layers: dict[str, str] = field(default_factory=dict)
+    ranks: dict[str, int | None] = field(default_factory=dict)
+
+    def edges_from(self, module: str) -> list[ImportEdge]:
+        return [edge for edge in self.edges if edge.source == module]
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-ready summary for the ``report`` subcommand."""
+        return {
+            "modules": {
+                module: {"layer": self.layers[module], "rank": self.ranks[module]}
+                for module in self.modules
+            },
+            "edges": [
+                {
+                    "source": edge.source,
+                    "target": edge.target,
+                    "line": edge.line,
+                    "top_level": edge.top_level,
+                }
+                for edge in self.edges
+            ],
+        }
+
+
+def layer_of(module: str, package: str) -> str:
+    """Layer name of a dotted module: its first component under the package."""
+    parts = module.split(".")
+    if parts[0] != package or len(parts) == 1:
+        return "<root>"
+    head = parts[1]
+    if head.startswith("__"):  # __main__ and friends sit with the root
+        return "<root>"
+    return head
+
+
+def _absolute_target(node: ast.ImportFrom, module: str) -> str | None:
+    """Resolve a (possibly relative) ``from`` import to a dotted prefix."""
+    if node.level == 0:
+        return node.module
+    # Relative import: climb ``level`` packages from the importing module.
+    parts = module.split(".")
+    if len(parts) < node.level:
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+def _resolve_module(candidate: str, known: frozenset[str]) -> str | None:
+    """Longest known-module prefix of a dotted name, or None."""
+    parts = candidate.split(".")
+    while parts:
+        dotted = ".".join(parts)
+        if dotted in known:
+            return dotted
+        parts.pop()
+    return None
+
+
+def build_import_graph(
+    files: Iterable["ProgramFile"], config: RepolintConfig
+) -> ImportGraph:
+    """Import graph restricted to edges between program modules."""
+    file_list = list(files)
+    known = frozenset(file.module for file in file_list)
+    edges: list[ImportEdge] = []
+    for file in file_list:
+        top_level_nodes = set(ast.iter_child_nodes(file.tree))
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            top_level = node in top_level_nodes
+            candidates: list[str] = []
+            if isinstance(node, ast.Import):
+                candidates = [alias.name for alias in node.names]
+            else:
+                base = _absolute_target(node, file.module)
+                if base is None:
+                    continue
+                # ``from pkg import name`` may import the submodule pkg.name.
+                candidates = [f"{base}.{alias.name}" for alias in node.names]
+                candidates.append(base)
+            seen: set[str] = set()
+            for candidate in candidates:
+                target = _resolve_module(candidate, known)
+                if target is None or target == file.module or target in seen:
+                    continue
+                seen.add(target)
+                edges.append(
+                    ImportEdge(
+                        source=file.module,
+                        target=target,
+                        line=node.lineno,
+                        top_level=top_level,
+                    )
+                )
+    modules = tuple(sorted(known))
+    layers = {module: layer_of(module, config.package) for module in modules}
+    ranks = {module: config.rank_for_layer(layers[module]) for module in modules}
+    return ImportGraph(modules=modules, edges=tuple(edges), layers=layers, ranks=ranks)
+
+
+def find_cycles(graph: ImportGraph) -> list[tuple[str, ...]]:
+    """Strongly connected components of size > 1 over import-time edges.
+
+    Iterative Tarjan so deep module chains cannot hit the recursion limit.
+    Deferred (function-scope) imports are excluded: they resolve lazily and
+    are the sanctioned way to break a genuine initialization cycle.
+    """
+    adjacency: dict[str, list[str]] = {module: [] for module in graph.modules}
+    for edge in graph.edges:
+        if edge.top_level:
+            adjacency[edge.source].append(edge.target)
+
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[tuple[str, ...]] = []
+    counter = 0
+
+    for root in graph.modules:
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sorted(components)

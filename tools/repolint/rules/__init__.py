@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
-from tools.repolint.engine import Rule
+from tools.repolint.engine import ProgramRule, Rule
 from tools.repolint.rules.api import AllDriftRule, MutableDefaultRule
+from tools.repolint.rules.arch import (
+    ImportCycleRule,
+    LayerContractRule,
+    UndeclaredLayerRule,
+)
 from tools.repolint.rules.checkpoint import CheckpointCompletenessRule
+from tools.repolint.rules.hotpath import HotPathAllocationRule
 from tools.repolint.rules.numeric import UnguardedExpLogRule, UnguardedSumDivisionRule
+from tools.repolint.rules.parallel import (
+    ModuleStateMutationRule,
+    RolloutSharedStateRule,
+)
 from tools.repolint.rules.rng import (
     GlobalNumpyRandomRule,
     InlineSeedSequenceRule,
@@ -23,6 +33,12 @@ RULE_CLASSES: list[type[Rule]] = [
     UnguardedSumDivisionRule,
     MutableDefaultRule,
     AllDriftRule,
+    LayerContractRule,
+    ImportCycleRule,
+    UndeclaredLayerRule,
+    RolloutSharedStateRule,
+    ModuleStateMutationRule,
+    HotPathAllocationRule,
 ]
 
 
@@ -45,11 +61,18 @@ __all__ = [
     "AllDriftRule",
     "CheckpointCompletenessRule",
     "GlobalNumpyRandomRule",
+    "HotPathAllocationRule",
+    "ImportCycleRule",
     "InlineSeedSequenceRule",
+    "LayerContractRule",
+    "ModuleStateMutationRule",
     "MutableDefaultRule",
+    "ProgramRule",
     "RULE_CLASSES",
+    "RolloutSharedStateRule",
     "Rule",
     "StdlibRandomRule",
+    "UndeclaredLayerRule",
     "UnguardedExpLogRule",
     "UnguardedSumDivisionRule",
     "WallClockRule",

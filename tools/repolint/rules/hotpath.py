@@ -1,0 +1,152 @@
+"""HOT701: allocation discipline inside per-step hot-path functions.
+
+Functions tagged in ``[tool.repolint.hotpath]`` run once per environment
+step (or per E-Tree descent level), so allocations there multiply by the
+episode count x step count x task count.  Two patterns are flagged:
+
+* numpy array constructors (``np.zeros``, ``np.concatenate``, ...)
+  anywhere in the function — per-step fresh arrays belong in reused,
+  preallocated buffers unless the array must escape (suppress with a
+  rationale comment in that case);
+* container growth inside a loop — ``list.append`` / ``dict.update`` /
+  comprehensions executed per iteration churn the allocator in the
+  innermost loops of the rollout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, ProgramContext, ProgramRule
+from tools.repolint.graphs.calls import _dotted_name, _iter_own_nodes
+
+#: numpy callables that allocate a fresh array on every call.
+NUMPY_ALLOCATORS = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.array",
+    "numpy.arange",
+    "numpy.linspace",
+    "numpy.eye",
+    "numpy.identity",
+    "numpy.zeros_like",
+    "numpy.ones_like",
+    "numpy.empty_like",
+    "numpy.full_like",
+    "numpy.concatenate",
+    "numpy.stack",
+    "numpy.vstack",
+    "numpy.hstack",
+    "numpy.tile",
+    "numpy.repeat",
+    "numpy.copy",
+}
+
+_GROWTH_METHODS = {"append", "extend", "insert", "update", "add", "appendleft"}
+
+_LOOP_NODES = (ast.For, ast.While, ast.AsyncFor)
+
+_COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+class HotPathAllocationRule(ProgramRule):
+    """HOT701: per-step allocation in a hot-path function."""
+
+    code = "HOT701"
+    name = "hotpath-allocation"
+    hint = (
+        "preallocate outside the loop and write in place; if the fresh "
+        "array must escape (e.g. into the replay buffer), suppress with a "
+        "rationale comment"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        config = program.config
+        if not config.hot_functions:
+            return
+        index = program.call_graph.index
+        for qualname in sorted(config.hot_functions):
+            function = index.functions.get(qualname)
+            if function is None:
+                continue
+            resolver = index.resolvers.get(function.module)
+            for node, in_loop in _walk_with_loops(function.node):
+                if isinstance(node, ast.Call):
+                    dotted = _dotted_name(node.func)
+                    origin = (
+                        resolver.resolve(node.func)
+                        if resolver is not None and dotted is not None
+                        else None
+                    )
+                    if origin in NUMPY_ALLOCATORS:
+                        yield self.program_finding(
+                            program,
+                            function.module,
+                            node.lineno,
+                            f"hot function '{qualname}' allocates a fresh "
+                            f"array via {dotted}() on every call",
+                        )
+                    elif (
+                        in_loop
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _GROWTH_METHODS
+                    ):
+                        yield self.program_finding(
+                            program,
+                            function.module,
+                            node.lineno,
+                            f"hot function '{qualname}' grows "
+                            f"'{ast.unparse(node.func.value)}' via "
+                            f".{node.func.attr}() inside a loop",
+                        )
+                elif in_loop and isinstance(node, _COMPREHENSIONS):
+                    kind = type(node).__name__
+                    yield self.program_finding(
+                        program,
+                        function.module,
+                        node.lineno,
+                        f"hot function '{qualname}' builds a {kind} on every "
+                        "loop iteration",
+                    )
+
+
+def _walk_with_loops(
+    root: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, bool]]:
+    """(node, inside-a-loop) pairs for a function body, nested defs excluded.
+
+    The loop condition is checked per *statement position*: a call in a
+    loop's body is in-loop, the loop's iterable expression itself is not
+    (it evaluates once).
+    """
+
+    def visit(node: ast.AST, in_loop: bool) -> Iterator[tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            child_in_loop = in_loop
+            if isinstance(node, _LOOP_NODES):
+                # Only the loop *body* repeats; the iterable and ``else``
+                # clause evaluate once.
+                child_in_loop = in_loop or child in node.body
+            yield child, child_in_loop
+            yield from visit(child, child_in_loop)
+
+    yield from visit(root, False)
+
+
+# Re-exported for the report subcommand: the tagged hot set with findings
+# resolved is exactly the "allocation-free hot path" part of the artifact.
+def hot_functions_payload(program: ProgramContext) -> dict[str, object]:
+    index = program.call_graph.index
+    return {
+        "tagged": sorted(program.config.hot_functions),
+        "missing": sorted(
+            qualname
+            for qualname in program.config.hot_functions
+            if qualname not in index.functions
+        ),
+    }

@@ -1,0 +1,105 @@
+"""Minimal SARIF 2.1.0 serialization for GitHub code scanning.
+
+Only the subset GitHub's upload-sarif action consumes: one run, one driver,
+a rule table built from the catalog and one result per finding.  Paths are
+emitted repo-relative with forward slashes so annotations attach to files
+in the PR view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.repolint.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str) -> str:
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return candidate.as_posix()
+
+
+def findings_to_sarif(
+    findings: Iterable[Finding],
+    catalog: Sequence[tuple[str, str, str]],
+) -> dict[str, object]:
+    """SARIF log dict for a finished run."""
+    rules = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, name, summary in catalog
+    ]
+    known = {rule["id"] for rule in rules}
+    results = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message += f" (hint: {finding.hint})"
+        result: dict[str, object] = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path),
+                            "uriBaseId": "ROOTDIR",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code not in known:
+            rules.append(
+                {
+                    "id": finding.code,
+                    "name": finding.code,
+                    "shortDescription": {"text": finding.message},
+                    "defaultConfiguration": {"level": "error"},
+                }
+            )
+            known.add(finding.code)
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repolint",
+                        "informationUri": "https://example.invalid/repolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"ROOTDIR": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Iterable[Finding], catalog: Sequence[tuple[str, str, str]]
+) -> str:
+    return json.dumps(findings_to_sarif(findings, catalog), indent=2, sort_keys=True)
