@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed typecheck test test-fault check
+.PHONY: lint lint-changed typecheck test test-serve test-fault serve bench-serve check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
@@ -21,9 +21,22 @@ typecheck:
 test:
 	$(PYTHON) -m pytest -x -q -m "not fault"
 
+## Serving subsystem only: engine parity, batcher, registry, server, metrics.
+test-serve:
+	$(PYTHON) -m pytest -x -q tests/test_serve_engine.py tests/test_serve_batcher.py \
+		tests/test_serve_registry.py tests/test_serve_server.py tests/test_serve_metrics.py
+
 ## Fault-injection / crash-safety suite.
 test-fault:
 	$(PYTHON) -m pytest -x -q -m fault
+
+## Run the selection server on a saved model (MODEL=path/to/artifact).
+serve:
+	$(PYTHON) -m repro serve --checkpoint-dir $(MODEL)
+
+## Batched-vs-sequential serving throughput; writes BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
 
 ## Everything CI runs.
 check: lint typecheck test test-fault

@@ -7,6 +7,9 @@ Commands:
 * ``select`` — load a saved model and select features for unseen tasks.
 * ``experiment`` — run one paper artefact (table1, fig5, ..., fig9) and
   print its rows.
+* ``serve`` — run the async micro-batching selection server on a saved
+  model (or a directory of versioned models); ``/select``, ``/healthz``,
+  ``/metrics``, graceful drain on SIGTERM.
 
 Examples::
 
@@ -14,17 +17,15 @@ Examples::
     python -m repro train --dataset water-quality --output /tmp/model
     python -m repro select --model /tmp/model --dataset water-quality
     python -m repro experiment --artefact table2 --scale smoke
+    python -m repro serve --checkpoint-dir /tmp/model --port 8765
 """
 
 from __future__ import annotations
 
 import argparse
-import signal
 import sys
 import time
 from dataclasses import replace
-from types import FrameType
-from typing import Callable
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro import __version__
 from repro.core.pafeat import PAFeat
 from repro.data.catalog import DATASETS, dataset_names
 from repro.experiments.runner import load_suite, make_config
+from repro.io.lifecycle import GracefulShutdown
 
 #: Exit code for a run stopped by SIGINT/SIGTERM (after the checkpoint flush).
 EXIT_INTERRUPTED = 130
@@ -94,6 +96,30 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("table1", "fig5", "fig6", "table2", "fig7", "table3", "fig8", "fig9"),
     )
     experiment.add_argument("--scale", default="smoke", choices=("smoke", "mini", "full"))
+
+    serve = subparsers.add_parser(
+        "serve", help="run the async micro-batching selection server"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="model registry root: a saved model artifact (from `train`) "
+        "or a directory of versioned artifact subdirectories",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        help="lockstep episodes per inference batch (default: 64)",
+    )
+    serve.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=5.0,
+        help="micro-batching latency budget in ms (default: 5.0)",
+    )
     return parser
 
 
@@ -153,43 +179,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-class _graceful_shutdown:
-    """Context manager turning SIGINT/SIGTERM into a polled stop flag.
+def _graceful_shutdown() -> GracefulShutdown:
+    """Training's stop discipline: first signal → checkpoint flush → exit.
 
-    Inside the block the first signal only *requests* a stop — the training
-    loop notices it at the next iteration boundary, flushes a final
-    checkpoint and raises ``TrainingInterrupted``.  The handlers are always
-    restored on exit.  Entering yields a zero-arg callable returning
-    whether a stop was requested (the ``stop_check`` contract of
-    :meth:`PAFeat.fit`).
+    The signal machinery lives in :class:`repro.io.lifecycle.GracefulShutdown`
+    (shared with ``repro serve``, whose wind-down drains requests instead
+    of flushing a checkpoint); this wrapper pins the training wording.
     """
-
-    SIGNALS = (signal.SIGINT, signal.SIGTERM)
-
-    def __enter__(self) -> Callable[[], bool]:
-        self._stop = False
-        self._previous: dict[int, object] = {}
-
-        def handler(signum: int, frame: FrameType | None) -> None:
-            del frame
-            self._stop = True
-            print(
-                f"received {signal.Signals(signum).name}; finishing the current "
-                f"iteration and flushing a checkpoint...",
-                file=sys.stderr,
-            )
-
-        for signum in self.SIGNALS:
-            try:
-                self._previous[signum] = signal.signal(signum, handler)
-            except ValueError:  # non-main thread (e.g. embedded use): poll only
-                pass
-        return lambda: self._stop
-
-    def __exit__(self, *exc_info: object) -> bool:
-        for signum, previous in self._previous.items():
-            signal.signal(signum, previous)  # type: ignore[arg-type]
-        return False
+    return GracefulShutdown(
+        action="finishing the current iteration and flushing a checkpoint"
+    )
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
@@ -230,11 +229,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ModelRegistry, SelectionServer
+
+    registry = ModelRegistry(args.checkpoint_dir)
+    version = registry.load()
+    for path, reason in registry.skipped:
+        print(f"skipped corrupt model version {path.name}: {reason}", file=sys.stderr)
+    server = SelectionServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_latency_ms=args.max_latency_ms,
+    )
+    print(
+        f"serving model version {version.name!r} ({version.n_features} features) "
+        f"on http://{args.host}:{args.port} "
+        f"[batch<={args.max_batch_size}, latency<={args.max_latency_ms}ms] "
+        f"-- POST /select, GET /healthz, GET /metrics; Ctrl-C to drain and exit"
+    )
+    asyncio.run(server.run())
+    print("drained; bye")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
     "select": _cmd_select,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
 }
 
 

@@ -228,13 +228,49 @@ class PAFeat:
             subset = (int(np.argmax(representation)),)
         return subset
 
-    def select_all_unseen(self, suite: TaskSuite | None = None) -> dict[str, tuple[int, ...]]:
-        """Select subsets for every unseen task in the (fitted) suite."""
-        self.inference_agent()
+    def select_all_unseen(
+        self,
+        suite: TaskSuite | None = None,
+        *,
+        batch_size: int | None = None,
+    ) -> dict[str, tuple[int, ...]]:
+        """Select subsets for every unseen task in the (fitted) suite.
+
+        Runs the unseen tasks' greedy episodes in lockstep through the
+        batched inference kernel (:mod:`repro.core.batch`): one Q-forward
+        per feature step for the whole batch instead of one per task per
+        step, with bit-exact parity to per-task :meth:`select`.
+        ``batch_size`` caps how many episodes run per lockstep group
+        (default: all at once); ``batch_size=1`` is the sequential
+        fallback path.
+        """
+        agent = self.inference_agent()
         suite = suite if suite is not None else self._suite
         if suite is None:
             raise RuntimeError("no suite available; call fit() first")
-        return {task.name: self.select(task) for task in suite.unseen_tasks}
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        tasks = list(suite.unseen_tasks)
+        if batch_size == 1:
+            return {task.name: self.select(task) for task in tasks}
+        from repro.core.batch import batched_greedy_subsets
+
+        if not tasks:
+            return {}
+        chunk = len(tasks) if batch_size is None else batch_size
+        results: dict[str, tuple[int, ...]] = {}
+        for start in range(0, len(tasks), chunk):
+            group = tasks[start : start + chunk]
+            representations = [
+                pearson_representation(task.features, task.labels) for task in group
+            ]
+            subsets = batched_greedy_subsets(
+                agent, representations, self.config.env,
+                feature_corr=self._feature_corr,
+            )
+            for task, subset in zip(group, subsets):
+                results[task.name] = subset
+        return results
 
     # ------------------------------------------------------------------
     # Optional on-task refinement (paper Section IV-D)

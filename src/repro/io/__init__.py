@@ -30,6 +30,7 @@ from repro.io.checkpoint import (
     atomic_write_json,
     atomic_write_npz,
 )
+from repro.io.lifecycle import GracefulShutdown
 from repro.io.serialization import (
     load_model,
     load_suite_csv,
@@ -42,6 +43,7 @@ __all__ = [
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointManager",
+    "GracefulShutdown",
     "TrainingInterrupted",
     "atomic_write_bytes",
     "atomic_write_json",

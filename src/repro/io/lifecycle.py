@@ -1,0 +1,63 @@
+"""Process lifecycle: cooperative SIGINT/SIGTERM shutdown.
+
+Extracted from the CLI's crash-safe training path so every long-running
+entry point — training (checkpoint flush before exit) and serving
+(drain in-flight requests before exit) — shares one signal discipline:
+the first signal only *requests* a stop, the host loop notices the flag
+at its next safe boundary and winds down cleanly.  Handlers are always
+restored on exit, and non-main-thread use (where ``signal.signal``
+raises) degrades to a poll-only flag.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+from types import FrameType
+from typing import Callable
+
+__all__ = ["GracefulShutdown"]
+
+
+class GracefulShutdown:
+    """Context manager turning SIGINT/SIGTERM into a polled stop flag.
+
+    Entering yields a zero-arg callable returning whether a stop was
+    requested — the ``stop_check`` contract of
+    :meth:`repro.core.pafeat.PAFeat.fit` and the drain trigger of
+    :meth:`repro.serve.server.SelectionServer.run`.  ``action`` names
+    what the host will do before exiting; it is echoed to stderr when the
+    first signal arrives so an operator watching the process knows the
+    signal landed and what the wind-down is waiting on.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, action: str = "shutting down gracefully") -> None:
+        self.action = action
+        self._stop = False
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> Callable[[], bool]:
+        self._stop = False
+        self._previous = {}
+
+        def handler(signum: int, frame: FrameType | None) -> None:
+            del frame
+            self._stop = True
+            print(
+                f"received {signal.Signals(signum).name}; {self.action}...",
+                file=sys.stderr,
+            )
+
+        for signum in self.SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(signum, handler)
+            except ValueError:  # non-main thread (e.g. embedded use): poll only
+                pass
+        return lambda: self._stop
+
+    def __exit__(self, *exc_info: object) -> bool:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)  # type: ignore[arg-type]
+        return False

@@ -82,6 +82,22 @@ class DuelingDQNAgent:
             return int(best[0])
         return int(self._rng.choice(best))
 
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        """Greedy actions for a batch of states in one forward pass.
+
+        The batched-inference entry point (serving, lockstep greedy
+        episodes): one ``(B, state_dim)`` forward instead of B scalar
+        :meth:`act` calls.  Deliberately side-effect free — it neither
+        advances the epsilon schedule's action counter nor draws from the
+        exploration RNG, so inference traffic cannot perturb training
+        state.  Exact Q ties break to the lowest action index
+        deterministically (``argmax``), where :meth:`act` randomises;
+        the two agree whenever each row's argmax is unique, which holds
+        for any network whose Q-values are not exactly equal.
+        """
+        q = self.q_values(states)
+        return np.asarray(q.argmax(axis=1), dtype=np.int64)
+
     def update(self, batch: Sequence[Transition], task_id: int | None = None) -> float:
         """One Dueling-DQN step on a transition minibatch; returns the loss.
 

@@ -1,0 +1,47 @@
+"""Serving: batched greedy inference behind an async micro-batching server.
+
+PA-FEAT's deployment story is train-once, answer-many: Algorithm 1's cost
+is amortised across every future unseen task, and each answer is a single
+greedy episode — milliseconds of Q-network forwards.  This package turns
+that property into a service:
+
+* :class:`~repro.serve.engine.BatchedGreedyEngine` — run B unseen tasks'
+  greedy episodes in lockstep, one batched Q-forward per feature step
+  (bit-exact with sequential :meth:`repro.core.pafeat.PAFeat.select`);
+* :class:`~repro.serve.registry.ModelRegistry` — versioned, checksum-
+  verified model loading with corruption fallback, hot swap and an LRU
+  task-representation cache;
+* :class:`~repro.serve.batcher.MicroBatcher` — an asyncio request queue
+  that flushes on batch size or latency budget, with graceful drain;
+* :class:`~repro.serve.server.SelectionServer` — ``/select``,
+  ``/healthz``, ``/metrics`` and ``/reload`` over stdlib asyncio;
+* :class:`~repro.serve.metrics.ServeMetrics` — latency p50/p99, queue
+  depth, batch-size distribution and cache hit rate.
+
+Run it: ``python -m repro serve --checkpoint-dir <model-or-versions-dir>``
+(see ``examples/serve_client.py`` for a self-contained demo).
+"""
+
+from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.engine import BatchedGreedyEngine
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.registry import (
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+    task_fingerprint,
+)
+from repro.serve.server import SelectionServer
+
+__all__ = [
+    "BatchedGreedyEngine",
+    "BatcherClosed",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryError",
+    "SelectionServer",
+    "ServeMetrics",
+    "task_fingerprint",
+]

@@ -1,0 +1,183 @@
+"""Async micro-batching request queue (stdlib ``asyncio`` only).
+
+The batched engine turns B queued selection requests into one lockstep
+inference; this module supplies the B.  Requests submitted concurrently
+are gathered into batches that flush on whichever comes first:
+
+* **size** — ``max_batch_size`` requests are waiting, or
+* **time** — ``max_latency_ms`` elapsed since the batch opened (bounded
+  queueing delay: a lone request never waits longer than the budget).
+
+One worker coroutine owns the queue; the handler (the batched engine) runs
+inline on the event loop — selection is a few milliseconds of NumPy, and
+running it on the loop serialises model access by construction (no locks).
+This queue is therefore *the* synchronization point of the serving path,
+and is certified as such in the PAR601 parallel-safety walk
+(``[tool.repolint.parallel]`` in ``pyproject.toml``, rationale in
+``docs/ARCHITECTURE.md`` §8).
+
+``clock`` and ``wait_for`` are injectable so tests can drive the
+size/timeout/drain logic deterministically with a fake clock instead of
+sleeping through real latency budgets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+__all__ = ["BatcherClosed", "MicroBatcher"]
+
+
+class BatcherClosed(RuntimeError):
+    """Submit was called on a draining/stopped batcher."""
+
+
+@dataclass
+class _Pending:
+    """One queued request: payload, completion future, enqueue timestamp."""
+
+    payload: Any
+    future: "asyncio.Future[Any]" = field(repr=False)
+    enqueued_at: float
+
+
+class _Sentinel:
+    """Queue marker that tells the worker to flush and exit."""
+
+
+_SHUTDOWN = _Sentinel()
+
+
+class MicroBatcher:
+    """Gather concurrent requests into batches for a synchronous handler.
+
+    ``handler`` maps a list of payloads to an equal-length list of
+    results; each :meth:`submit` resolves with the result at its payload's
+    position.  A handler exception fails every request in the batch (the
+    error is per-batch, not per-process — the worker keeps serving).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[list[Any]], list[Any]],
+        *,
+        max_batch_size: int = 64,
+        max_latency_ms: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        wait_for: Callable[..., Awaitable[Any]] = asyncio.wait_for,
+        metrics: Any = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_latency_ms < 0:
+            raise ValueError(f"max_latency_ms must be >= 0, got {max_latency_ms}")
+        self._handler = handler
+        self.max_batch_size = max_batch_size
+        self.max_latency_s = max_latency_ms / 1000.0
+        self._clock = clock
+        self._wait_for = wait_for
+        self._metrics = metrics
+        self._queue: "asyncio.Queue[_Pending | _Sentinel] | None" = None
+        self._worker: "asyncio.Task[None] | None" = None
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Create the queue and start the worker on the running loop."""
+        if self._worker is not None:
+            raise RuntimeError("batcher is already started")
+        self._closing = False
+        self._queue = asyncio.Queue()
+        self._worker = asyncio.create_task(self._run(self._queue))
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new work, flush pending, stop.
+
+        Every request submitted before the drain still completes (the
+        shutdown marker sits behind them in the FIFO queue); submits after
+        the drain raise :class:`BatcherClosed`.  Idempotent.
+        """
+        if self._worker is None or self._closing:
+            return
+        self._closing = True
+        assert self._queue is not None
+        self._queue.put_nowait(_SHUTDOWN)
+        await self._worker
+        self._worker = None
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- request path ---------------------------------------------------
+    async def submit(self, payload: Any) -> Any:
+        """Enqueue one payload and wait for its batched result."""
+        if self._closing:
+            raise BatcherClosed("batcher is draining; request rejected")
+        if self._queue is None or self._worker is None:
+            raise RuntimeError("batcher is not started; call start() first")
+        pending = _Pending(
+            payload=payload,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=self._clock(),
+        )
+        self._queue.put_nowait(pending)
+        if self._metrics is not None:
+            self._metrics.observe_queue_depth(self._queue.qsize())
+        return await pending.future
+
+    # -- worker ---------------------------------------------------------
+    async def _run(self, queue: "asyncio.Queue[_Pending | _Sentinel]") -> None:
+        while True:
+            head = await queue.get()
+            if isinstance(head, _Sentinel):
+                # FIFO: every request enqueued before the drain marker has
+                # already been consumed, so there is nothing left to flush.
+                return
+            batch = [head]
+            shutting_down = False
+            deadline = self._clock() + self.max_latency_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await self._wait_for(queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if isinstance(item, _Sentinel):
+                    shutting_down = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+            if shutting_down:
+                return
+
+    def _flush(self, batch: list[_Pending]) -> None:
+        """Run the handler on one gathered batch and resolve its futures."""
+        if self._metrics is not None:
+            self._metrics.observe_batch(len(batch))
+        payloads = [pending.payload for pending in batch]
+        try:
+            results = self._handler(payloads)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results for "
+                    f"{len(batch)} payloads"
+                )
+        except Exception as exc:  # fail the batch, keep the worker alive
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+                if self._metrics is not None:
+                    self._metrics.observe_error()
+            return
+        now = self._clock()
+        for pending, result in zip(batch, results):
+            if not pending.future.done():
+                pending.future.set_result(result)
+            if self._metrics is not None:
+                self._metrics.observe_request((now - pending.enqueued_at) * 1000.0)

@@ -1,0 +1,110 @@
+"""Batched greedy-inference engine: the serving wrapper over the kernel.
+
+The numerical lockstep kernel lives in :mod:`repro.core.batch` (the layer
+contract places ``serve`` above ``core``, so the math the facade also
+needs sits below both).  This engine adds what serving needs around it:
+
+* binding to a concrete trained agent + environment config +
+  feature-correlation matrix (usually straight from a
+  :class:`~repro.serve.registry.ModelRegistry` model via
+  :meth:`BatchedGreedyEngine.from_model`);
+* input validation against the agent's state dimension — a representation
+  of the wrong feature count fails fast with a clear message instead of a
+  shape error three layers down;
+* chunking: arbitrarily large request batches are split into lockstep
+  groups of at most ``max_batch_size`` episodes, keeping the
+  ``(B, state_dim)`` activations cache-sized.
+
+Results are bit-exact with sequential :meth:`repro.core.pafeat.PAFeat.select`
+per task (see :mod:`repro.core.batch` for the exactness argument).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.batch import batched_greedy_subsets
+from repro.core.config import EnvConfig
+from repro.core.state import N_SCAN_SCALARS
+
+if TYPE_CHECKING:
+    from repro.core.pafeat import PAFeat
+    from repro.data.tasks import Task
+    from repro.rl.agent import DuelingDQNAgent
+
+
+class BatchedGreedyEngine:
+    """Run many unseen tasks' greedy episodes per Q-network forward."""
+
+    def __init__(
+        self,
+        agent: "DuelingDQNAgent",
+        env_config: EnvConfig,
+        feature_corr: np.ndarray | None = None,
+        max_batch_size: int = 64,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.agent = agent
+        self.env_config = env_config
+        self.feature_corr = feature_corr
+        self.max_batch_size = max_batch_size
+        # state_dim = 2 m + N_SCAN_SCALARS, so the agent pins the feature
+        # count every request must match.
+        n_features, remainder = divmod(agent.state_dim - N_SCAN_SCALARS, 2)
+        if remainder or n_features < 1:
+            raise ValueError(
+                f"agent state dimension {agent.state_dim} does not encode a "
+                f"feature-selection state"
+            )
+        self.n_features = n_features
+
+    @classmethod
+    def from_model(
+        cls, model: "PAFeat", max_batch_size: int = 64
+    ) -> "BatchedGreedyEngine":
+        """Engine bound to a fitted/loaded model's inference context."""
+        return cls(
+            model.inference_agent(),
+            model.config.env,
+            feature_corr=model._feature_corr,
+            max_batch_size=max_batch_size,
+        )
+
+    def select_representations(
+        self, representations: Sequence[np.ndarray]
+    ) -> list[tuple[int, ...]]:
+        """Greedy subsets for task-representation vectors, in input order."""
+        reps = [
+            np.asarray(rep, dtype=np.float64).reshape(-1)
+            for rep in representations
+        ]
+        for index, rep in enumerate(reps):
+            if rep.shape[0] != self.n_features:
+                raise ValueError(
+                    f"representation {index} has {rep.shape[0]} features; "
+                    f"this engine's agent serves {self.n_features}-feature tasks"
+                )
+        results: list[tuple[int, ...]] = []
+        for start in range(0, len(reps), self.max_batch_size):
+            results.extend(
+                batched_greedy_subsets(
+                    self.agent,
+                    reps[start : start + self.max_batch_size],
+                    self.env_config,
+                    feature_corr=self.feature_corr,
+                )
+            )
+        return results
+
+    def select_tasks(self, tasks: Iterable["Task"]) -> dict[str, tuple[int, ...]]:
+        """Greedy subsets for :class:`~repro.data.tasks.Task` objects."""
+        from repro.data.stats import pearson_representation
+
+        ordered = list(tasks)
+        subsets = self.select_representations(
+            [pearson_representation(task.features, task.labels) for task in ordered]
+        )
+        return {task.name: subset for task, subset in zip(ordered, subsets)}

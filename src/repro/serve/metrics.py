@@ -1,0 +1,194 @@
+"""Serving telemetry: latency quantiles, queue depth, batch sizes, cache hits.
+
+All state is instance-owned and updated from the server's single event
+loop, so no locking is needed; a multi-worker deployment would give each
+worker its own :class:`ServeMetrics` and aggregate at scrape time (the
+histogram buckets and counters sum cleanly across instances).
+
+Two complementary latency views:
+
+* **cumulative bucket counts** over fixed log-spaced boundaries — cheap,
+  mergeable, never lose history;
+* **a sliding window** of recent observations — exact p50/p99 over the
+  last ``window`` requests, which is what an operator watching a dashboard
+  actually wants (a lifetime-cumulative p99 hides a fresh regression).
+
+:meth:`ServeMetrics.render` emits Prometheus-style text for ``/metrics``;
+:meth:`ServeMetrics.snapshot` returns the same numbers as JSON-able data
+for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Mapping
+
+#: Upper bounds (milliseconds) of the cumulative latency buckets.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0, math.inf,
+)
+
+
+class LatencyHistogram:
+    """Cumulative log-bucket histogram plus an exact sliding window."""
+
+    def __init__(
+        self,
+        buckets_ms: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+        window: int = 2048,
+    ) -> None:
+        if not buckets_ms:
+            raise ValueError("need at least one bucket boundary")
+        if list(buckets_ms) != sorted(buckets_ms):
+            raise ValueError("bucket boundaries must be ascending")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.buckets_ms = tuple(buckets_ms)
+        self.counts = [0] * len(self.buckets_ms)
+        self.total = 0
+        self.sum_ms = 0.0
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value_ms: float) -> None:
+        """Record one latency observation (milliseconds)."""
+        value_ms = float(value_ms)
+        self.total += 1
+        self.sum_ms += value_ms
+        self._window.append(value_ms)
+        for index, bound in enumerate(self.buckets_ms):
+            if value_ms <= bound:
+                self.counts[index] += 1
+                break
+
+    def percentile(self, q: float) -> float:
+        """Exact q-quantile (0..1) over the sliding window; 0.0 when empty.
+
+        Nearest-rank on the sorted window — the estimator dashboards
+        expect, and exact for the window it covers.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 6),
+            "p50_ms": round(self.percentile(0.50), 6),
+            "p99_ms": round(self.percentile(0.99), 6),
+            "buckets": {
+                ("+Inf" if math.isinf(bound) else f"{bound:g}"): count
+                for bound, count in zip(self.buckets_ms, self.counts)
+            },
+        }
+
+
+class ServeMetrics:
+    """The selection server's metric registry."""
+
+    def __init__(self) -> None:
+        #: queue-wait + batch-execution time per request.
+        self.request_latency = LatencyHistogram()
+        #: per-flush batch sizes (distribution of the micro-batcher output).
+        self.batch_sizes: dict[int, int] = {}
+        self.batches_total = 0
+        self.requests_total = 0
+        self.errors_total = 0
+        #: queue depth sampled at each enqueue (peak-ish view of pressure).
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self._cache_stats: Callable[[], Mapping[str, int]] | None = None
+
+    # -- recording ------------------------------------------------------
+    def observe_request(self, latency_ms: float) -> None:
+        self.requests_total += 1
+        self.request_latency.observe(latency_ms)
+
+    def observe_error(self) -> None:
+        self.errors_total += 1
+
+    def observe_batch(self, size: int) -> None:
+        self.batches_total += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+        self.queue_depth_peak = max(self.queue_depth_peak, depth)
+
+    def set_cache_stats_provider(
+        self, provider: Callable[[], Mapping[str, int]]
+    ) -> None:
+        """Hook the registry's representation-cache counters in lazily."""
+        self._cache_stats = provider
+
+    # -- reading --------------------------------------------------------
+    def cache_hit_rate(self) -> float | None:
+        """Representation-cache hit rate in [0, 1], or None when unwired."""
+        if self._cache_stats is None:
+            return None
+        stats = self._cache_stats()
+        lookups = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+        if lookups == 0:
+            return 0.0
+        return int(stats.get("hits", 0)) / lookups
+
+    def snapshot(self) -> dict:
+        data = {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "batches_total": self.batches_total,
+            "batch_sizes": dict(sorted(self.batch_sizes.items())),
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "latency": self.request_latency.snapshot(),
+        }
+        hit_rate = self.cache_hit_rate()
+        if hit_rate is not None:
+            data["cache_hit_rate"] = round(hit_rate, 6)
+            assert self._cache_stats is not None
+            data["cache"] = dict(self._cache_stats())
+        return data
+
+    def render(self) -> str:
+        """Prometheus-style exposition text for ``/metrics``."""
+        latency = self.request_latency
+        lines = [
+            "# TYPE repro_serve_requests_total counter",
+            f"repro_serve_requests_total {self.requests_total}",
+            "# TYPE repro_serve_errors_total counter",
+            f"repro_serve_errors_total {self.errors_total}",
+            "# TYPE repro_serve_batches_total counter",
+            f"repro_serve_batches_total {self.batches_total}",
+            "# TYPE repro_serve_queue_depth gauge",
+            f"repro_serve_queue_depth {self.queue_depth}",
+            "# TYPE repro_serve_queue_depth_peak gauge",
+            f"repro_serve_queue_depth_peak {self.queue_depth_peak}",
+            "# TYPE repro_serve_latency_ms summary",
+            f'repro_serve_latency_ms{{quantile="0.5"}} {latency.percentile(0.5):.6f}',
+            f'repro_serve_latency_ms{{quantile="0.99"}} {latency.percentile(0.99):.6f}',
+            f"repro_serve_latency_ms_sum {latency.sum_ms:.6f}",
+            f"repro_serve_latency_ms_count {latency.total}",
+            "# TYPE repro_serve_latency_ms_bucket counter",
+        ]
+        cumulative = 0
+        for bound, count in zip(latency.buckets_ms, latency.counts):
+            cumulative += count
+            label = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            lines.append(f'repro_serve_latency_ms_bucket{{le="{label}"}} {cumulative}')
+        lines.append("# TYPE repro_serve_batch_size_total counter")
+        for size, count in sorted(self.batch_sizes.items()):
+            lines.append(f'repro_serve_batch_size_total{{size="{size}"}} {count}')
+        hit_rate = self.cache_hit_rate()
+        if hit_rate is not None:
+            lines.append("# TYPE repro_serve_cache_hit_rate gauge")
+            lines.append(f"repro_serve_cache_hit_rate {hit_rate:.6f}")
+        return "\n".join(lines) + "\n"

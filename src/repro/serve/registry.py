@@ -1,0 +1,217 @@
+"""Versioned model registry: load, verify and hot-swap trained agents.
+
+A serving process must (a) come up on the newest model artifact that is
+actually trustworthy, (b) pick up newly published versions without a
+restart, and (c) never crash — or silently serve garbage — because the
+newest artifact is corrupt.  :class:`ModelRegistry` provides all three on
+top of the existing artifact format: every version is a
+:func:`repro.io.save_model` directory whose ``manifest.json`` carries
+SHA-256 checksums written by the :mod:`repro.io.checkpoint` atomic-write
+helpers, and :func:`repro.io.load_model` verifies those checksums before
+any weight is deserialised.
+
+**Layouts.**  The registry root is either
+
+* a single model artifact (``config.json`` at the root) — one version,
+  named after the directory; or
+* a directory of version subdirectories, each a model artifact — versions
+  are ordered by name (publish as ``v0001``, ``v0002``, … or any
+  lexicographically increasing scheme), newest last.
+
+**Corruption fallback.**  :meth:`load` walks versions newest-first and
+serves the first one that passes verification; failures are recorded in
+:attr:`skipped` (``(path, reason)`` pairs) and logged, mirroring
+:meth:`repro.io.checkpoint.CheckpointManager.latest_valid`.
+
+**Hot swap.**  :meth:`refresh` rescans the root; when a version newer than
+the current one validates, the served model is swapped atomically (a
+single attribute rebind — in-flight batches keep the agent object they
+started with).  A corrupt newer version is skipped and the current model
+keeps serving.
+
+**Representation cache.**  Selection requests arrive as raw task data
+(features + labels); the |Pearson| task representation is the only
+preprocessing, and repeat requests for the same task are common in
+production (retries, A/B probes, shared dashboards).  A bounded LRU keyed
+on a SHA-256 fingerprint of the task bytes makes those repeats skip the
+recompute; hits and misses feed the ``/metrics`` cache-hit-rate gauge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.stats import pearson_representation
+
+if TYPE_CHECKING:
+    from repro.core.pafeat import PAFeat
+
+logger = logging.getLogger(__name__)
+
+
+class RegistryError(RuntimeError):
+    """No servable model version could be loaded from the registry root."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One successfully loaded, checksum-verified model version."""
+
+    name: str
+    path: Path
+    n_features: int
+
+
+def task_fingerprint(features: np.ndarray, labels: np.ndarray) -> str:
+    """Content hash of a task's data — the representation-cache key.
+
+    Covers values, dtypes and shapes of both arrays, so any change in the
+    task produces a different key.
+    """
+    features = np.ascontiguousarray(features)
+    labels = np.ascontiguousarray(labels)
+    digest = hashlib.sha256()
+    for array in (features, labels):
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class ModelRegistry:
+    """Versioned store of inference artifacts under one root directory."""
+
+    def __init__(
+        self, root: str | Path, representation_cache_size: int = 256
+    ) -> None:
+        if representation_cache_size < 1:
+            raise ValueError(
+                f"representation_cache_size must be >= 1, "
+                f"got {representation_cache_size}"
+            )
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"registry root {self.root} is not a directory")
+        #: corrupt/unloadable versions seen by :meth:`load`/:meth:`refresh`,
+        #: as ``(path, reason)`` pairs — surfaced for observability.
+        self.skipped: list[tuple[Path, str]] = []
+        self._model: "PAFeat | None" = None
+        self._version: ModelVersion | None = None
+        self._cache_capacity = representation_cache_size
+        self._representations: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- discovery ------------------------------------------------------
+    def candidate_versions(self) -> list[tuple[str, Path]]:
+        """``(name, path)`` of every potential version, oldest → newest."""
+        if (self.root / "config.json").is_file():
+            return [(self.root.name or "model", self.root)]
+        found = [
+            (entry.name, entry)
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / "config.json").is_file()
+        ]
+        return sorted(found)
+
+    # -- loading / hot swap --------------------------------------------
+    def load(self) -> ModelVersion:
+        """Load the newest version that verifies; raise when none does.
+
+        Walks newest-first; a version whose manifest, checksums or weights
+        fail validation is recorded in :attr:`skipped` and passed over.
+        """
+        candidates = self.candidate_versions()
+        if not candidates:
+            raise RegistryError(
+                f"no model versions under {self.root} (expected a saved "
+                f"model artifact or a directory of artifact subdirectories)"
+            )
+        for name, path in reversed(candidates):
+            loaded = self._try_load(name, path)
+            if loaded is not None:
+                return loaded
+        reasons = "; ".join(f"{path.name}: {reason}" for path, reason in self.skipped)
+        raise RegistryError(
+            f"no valid model version under {self.root} ({reasons})"
+        )
+
+    def refresh(self) -> bool:
+        """Hot-swap to a newer valid version when one exists.
+
+        Returns True when the served model changed.  Corrupt newer
+        versions are skipped (recorded in :attr:`skipped`); the current
+        model keeps serving.  With no model loaded yet this behaves like
+        :meth:`load` but returns the swap flag instead of raising.
+        """
+        current = self._version.name if self._version is not None else None
+        for name, path in reversed(self.candidate_versions()):
+            if current is not None and name <= current:
+                break
+            if self._try_load(name, path) is not None:
+                return True
+        return False
+
+    def _try_load(self, name: str, path: Path) -> ModelVersion | None:
+        from repro.io.serialization import load_model
+
+        try:
+            model = load_model(path)
+        except (ValueError, OSError, KeyError) as exc:
+            logger.warning("skipping model version %s: %s", path, exc)
+            self.skipped.append((path, str(exc)))
+            return None
+        assert model._n_features is not None
+        version = ModelVersion(
+            name=name, path=path, n_features=int(model._n_features)
+        )
+        self._model = model
+        self._version = version
+        return version
+
+    @property
+    def model(self) -> "PAFeat":
+        """The currently served model; :meth:`load` must have succeeded."""
+        if self._model is None:
+            raise RegistryError("no model loaded; call load() first")
+        return self._model
+
+    @property
+    def version(self) -> ModelVersion:
+        if self._version is None:
+            raise RegistryError("no model loaded; call load() first")
+        return self._version
+
+    # -- representation cache ------------------------------------------
+    def representation(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """The task's |Pearson| representation, LRU-cached by fingerprint."""
+        key = task_fingerprint(features, labels)
+        cached = self._representations.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._representations.move_to_end(key)
+            return cached
+        self._cache_misses += 1
+        value = pearson_representation(features, labels)
+        self._representations[key] = value
+        while len(self._representations) > self._cache_capacity:
+            self._representations.popitem(last=False)
+        return value
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters for the ``/metrics`` cache-hit-rate gauge."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._representations),
+            "capacity": self._cache_capacity,
+        }

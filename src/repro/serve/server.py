@@ -1,0 +1,296 @@
+"""Async selection server: ``/select``, ``/healthz``, ``/metrics``.
+
+A deliberately small HTTP/1.1 server over raw ``asyncio`` streams — the
+runtime dependency budget is numpy-only, so there is no web framework to
+lean on, and the protocol surface (three JSON endpoints, short-lived
+connections) does not justify one.
+
+Request path::
+
+    client ──POST /select──▶ handler ──▶ registry.representation (LRU)
+                                     ──▶ MicroBatcher.submit ──┐
+                                                               ▼  flush on
+                                          BatchedGreedyEngine ◀┘  size/time
+                                                │
+    client ◀──{"subset": [...]}─────────────────┘
+
+Endpoints:
+
+* ``POST /select`` — body ``{"features": [[...]], "labels": [...]}`` (raw
+  task data; the representation is computed and LRU-cached) or
+  ``{"representation": [...]}`` (precomputed |Pearson| vector).  Response:
+  the selected subset, the serving model version and the request latency.
+* ``GET /healthz`` — liveness + the served model version.
+* ``GET /metrics`` — Prometheus-style text (latency p50/p99, queue depth,
+  batch-size distribution, cache hit rate).
+* ``POST /reload`` — rescan the registry root and hot-swap to a newer
+  valid model version (no restart; corrupt candidates are skipped).
+
+Shutdown is graceful and reuses the training CLI's signal discipline
+(:class:`repro.io.lifecycle.GracefulShutdown`): on SIGTERM/SIGINT the
+listener stops accepting, the micro-batcher drains every queued request,
+then the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.io.lifecycle import GracefulShutdown
+from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.engine import BatchedGreedyEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["SelectionServer"]
+
+_MAX_BODY_BYTES = 8 << 20  # a request is one task's data; 8 MiB is generous
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(ValueError):
+    """Client-side request problem → HTTP 400."""
+
+
+class SelectionServer:
+    """Serve feature-selection requests over a micro-batched engine."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 64,
+        max_latency_ms: float = 5.0,
+        metrics: ServeMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.max_batch_size = max_batch_size
+        self.max_latency_ms = max_latency_ms
+        self.metrics = metrics or ServeMetrics()
+        self._clock = clock
+        self._engine: BatchedGreedyEngine | None = None
+        self._batcher: MicroBatcher | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Load the model, start the batcher, bind the listener."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        if self.registry._model is None:
+            self.registry.load()
+        self._engine = BatchedGreedyEngine.from_model(
+            self.registry.model, max_batch_size=self.max_batch_size
+        )
+        self.metrics.set_cache_stats_provider(self.registry.cache_stats)
+        self._batcher = MicroBatcher(
+            self._select_batch,
+            max_batch_size=self.max_batch_size,
+            max_latency_ms=self.max_latency_ms,
+            clock=self._clock,
+            metrics=self.metrics,
+        )
+        await self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, flush queued requests, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            await self._batcher.drain()
+            self._batcher = None
+
+    async def run(self, poll_interval_s: float = 0.1) -> None:
+        """Serve until SIGINT/SIGTERM, then drain and return.
+
+        Reuses the crash-safe training path's :class:`GracefulShutdown`:
+        the first signal sets a flag, this loop notices it within
+        ``poll_interval_s`` and winds the server down without dropping
+        queued requests.
+        """
+        with GracefulShutdown(action="draining in-flight requests") as stop:
+            await self.start()
+            try:
+                while not stop():
+                    await asyncio.sleep(poll_interval_s)
+            finally:
+                await self.stop()
+
+    # -- inference ------------------------------------------------------
+    def _select_batch(self, payloads: list[np.ndarray]) -> list[tuple[int, ...]]:
+        """The micro-batcher's handler: one lockstep engine pass."""
+        assert self._engine is not None
+        return self._engine.select_representations(payloads)
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._handle_request(reader)
+        except (_BadRequest, json.JSONDecodeError) as exc:
+            self.metrics.observe_error()
+            status, content_type, body = _json_response(400, {"error": str(exc)})
+        except (asyncio.IncompleteReadError, ConnectionError, TimeoutError):
+            writer.close()
+            return
+        except Exception as exc:  # never kill the accept loop on one request
+            self.metrics.observe_error()
+            status, content_type, body = _json_response(500, {"error": str(exc)})
+        try:
+            writer.write(
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            return _json_response(413, {"error": "request body too large"})
+        raw = await reader.readexactly(length) if length else b""
+
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz()
+        if path == "/metrics" and method == "GET":
+            return 200, "text/plain; version=0.0.4", self.metrics.render().encode()
+        if path == "/select" and method == "POST":
+            return await self._handle_select(raw)
+        if path == "/reload" and method == "POST":
+            return self._handle_reload()
+        if path in ("/select", "/reload", "/healthz", "/metrics"):
+            return _json_response(405, {"error": f"{method} not allowed on {path}"})
+        return _json_response(404, {"error": f"unknown path {path}"})
+
+    # -- endpoints ------------------------------------------------------
+    def _handle_healthz(self) -> tuple[int, str, bytes]:
+        version = self.registry.version
+        return _json_response(
+            200,
+            {
+                "status": "ok",
+                "model_version": version.name,
+                "n_features": version.n_features,
+            },
+        )
+
+    def _handle_reload(self) -> tuple[int, str, bytes]:
+        swapped = self.registry.refresh()
+        if swapped:
+            # Rebind the engine to the new agent; the single-threaded event
+            # loop makes the swap atomic w.r.t. batch flushes.
+            self._engine = BatchedGreedyEngine.from_model(
+                self.registry.model, max_batch_size=self.max_batch_size
+            )
+        return _json_response(
+            200,
+            {
+                "swapped": swapped,
+                "model_version": self.registry.version.name,
+                "skipped": [
+                    {"path": str(path), "reason": reason}
+                    for path, reason in self.registry.skipped
+                ],
+            },
+        )
+
+    async def _handle_select(self, raw: bytes) -> tuple[int, str, bytes]:
+        start = self._clock()
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        representation = self._parse_task(payload)
+        assert self._batcher is not None
+        try:
+            subset = await self._batcher.submit(representation)
+        except BatcherClosed:
+            return _json_response(503, {"error": "server is draining"})
+        latency_ms = (self._clock() - start) * 1000.0
+        return _json_response(
+            200,
+            {
+                "subset": [int(i) for i in subset],
+                "n_selected": len(subset),
+                "n_features": self.registry.version.n_features,
+                "model_version": self.registry.version.name,
+                "latency_ms": round(latency_ms, 3),
+            },
+        )
+
+    def _parse_task(self, payload: dict) -> np.ndarray:
+        """Representation from the request: precomputed, or raw task data."""
+        if "representation" in payload:
+            rep = np.asarray(payload["representation"], dtype=np.float64)
+            if rep.ndim != 1:
+                raise _BadRequest("'representation' must be a flat number list")
+            return rep
+        if "features" in payload and "labels" in payload:
+            try:
+                features = np.asarray(payload["features"], dtype=np.float64)
+                labels = np.asarray(payload["labels"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest(f"non-numeric task data: {exc}") from exc
+            if features.ndim != 2:
+                raise _BadRequest("'features' must be a 2-D number matrix")
+            if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+                raise _BadRequest("'labels' must align with the feature rows")
+            return self.registry.representation(features, labels)
+        raise _BadRequest(
+            "request needs either 'representation' or 'features'+'labels'"
+        )
+
+
+def _json_response(status: int, payload: dict[str, Any]) -> tuple[int, str, bytes]:
+    return status, "application/json", json.dumps(payload).encode("utf-8")

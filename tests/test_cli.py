@@ -111,3 +111,17 @@ class TestExperiment:
     def test_unknown_artefact_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "--artefact", "fig99"])
+
+
+class TestServe:
+    def test_missing_registry_root_is_one_line_error(self, tmp_path, capsys):
+        code = main(["serve", "--checkpoint-dir", str(tmp_path / "missing")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_empty_registry_root_is_one_line_error(self, tmp_path, capsys):
+        code = main(["serve", "--checkpoint-dir", str(tmp_path)])
+        assert code == 1
+        assert "no model versions" in capsys.readouterr().err

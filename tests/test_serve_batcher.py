@@ -1,0 +1,253 @@
+"""Micro-batcher semantics under a fake clock: size, timeout, drain, errors.
+
+All tests run the event loop to completion with :func:`asyncio.run` (no
+pytest-asyncio dependency) and drive the batcher's timing through its
+injectable ``clock`` / ``wait_for`` hooks — no real sleeping through the
+latency budget, so the suite exercises every flush trigger in
+milliseconds of wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import BatcherClosed, MicroBatcher, ServeMetrics
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_fake_wait_for(clock: FakeClock):
+    """A ``wait_for`` that never blocks on real time.
+
+    Gives the awaitable a handful of event-loop spins to complete (enough
+    for already-queued items to be consumed); if it still has not, the
+    fake declares the timeout elapsed: it advances the clock past the
+    deadline and raises ``asyncio.TimeoutError`` — exactly what the real
+    ``asyncio.wait_for`` does after ``timeout`` seconds, minus the wait.
+    """
+
+    async def fake_wait_for(awaitable, timeout):
+        task = asyncio.ensure_future(awaitable)
+        for _ in range(10):
+            if task.done():
+                return task.result()
+            await asyncio.sleep(0)
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        clock.advance(timeout)
+        raise asyncio.TimeoutError
+
+    return fake_wait_for
+
+
+class RecordingHandler:
+    """Echo handler that records every flushed batch."""
+
+    def __init__(self) -> None:
+        self.batches: list[list[object]] = []
+
+    def __call__(self, payloads: list[object]) -> list[object]:
+        self.batches.append(list(payloads))
+        return [("done", payload) for payload in payloads]
+
+
+def make_batcher(handler, *, max_batch_size=4, max_latency_ms=5.0, metrics=None):
+    clock = FakeClock()
+    batcher = MicroBatcher(
+        handler,
+        max_batch_size=max_batch_size,
+        max_latency_ms=max_latency_ms,
+        clock=clock,
+        wait_for=make_fake_wait_for(clock),
+        metrics=metrics,
+    )
+    return batcher, clock
+
+
+class TestFlushTriggers:
+    def test_flush_on_batch_size(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=3)
+
+        async def scenario():
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(3)))
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [("done", 0), ("done", 1), ("done", 2)]
+        # All three were waiting, so they flush as ONE full batch — the
+        # deadline never fires.
+        assert handler.batches == [[0, 1, 2]]
+
+    def test_flush_on_timeout_with_partial_batch(self):
+        handler = RecordingHandler()
+        batcher, clock = make_batcher(handler, max_batch_size=64, max_latency_ms=7.0)
+
+        async def scenario():
+            await batcher.start()
+            result = await batcher.submit("lonely")
+            deadline_advance = clock.now
+            await batcher.drain()
+            return result, deadline_advance
+
+        result, elapsed = asyncio.run(scenario())
+        assert result == ("done", "lonely")
+        # Far under max_batch_size: only the simulated deadline expiry
+        # (clock advanced by the remaining budget) could have flushed it.
+        assert handler.batches == [["lonely"]]
+        assert elapsed == pytest.approx(0.007)
+
+    def test_requests_spanning_deadline_split_into_batches(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=64)
+
+        async def scenario():
+            await batcher.start()
+            first = await batcher.submit("a")  # flushed alone on timeout
+            second = await batcher.submit("b")
+            await batcher.drain()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert (first, second) == (("done", "a"), ("done", "b"))
+        assert handler.batches == [["a"], ["b"]]
+
+    def test_oversize_burst_flushes_in_size_chunks(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=2)
+
+        async def scenario():
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(5)))
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [("done", i) for i in range(5)]
+        assert [len(batch) for batch in handler.batches] == [2, 2, 1]
+
+
+class TestDrain:
+    def test_drain_completes_queued_requests_then_rejects(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=8)
+
+        async def scenario():
+            await batcher.start()
+            pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)  # let submits enqueue before the marker
+            await batcher.drain()
+            results = [await p for p in pending]
+            with pytest.raises(BatcherClosed):
+                await batcher.submit("too late")
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [("done", 0), ("done", 1), ("done", 2)]
+
+    def test_drain_is_idempotent(self):
+        batcher, _ = make_batcher(RecordingHandler())
+
+        async def scenario():
+            await batcher.start()
+            await batcher.drain()
+            await batcher.drain()
+
+        asyncio.run(scenario())
+
+    def test_submit_before_start_is_an_error(self):
+        batcher, _ = make_batcher(RecordingHandler())
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="not started"):
+                await batcher.submit("x")
+
+        asyncio.run(scenario())
+
+    def test_double_start_is_an_error(self):
+        batcher, _ = make_batcher(RecordingHandler())
+
+        async def scenario():
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="already started"):
+                await batcher.start()
+            await batcher.drain()
+
+        asyncio.run(scenario())
+
+
+class TestErrors:
+    def test_handler_exception_fails_the_batch_not_the_worker(self):
+        calls = {"n": 0}
+
+        def flaky(payloads):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("model exploded")
+            return list(payloads)
+
+        batcher, _ = make_batcher(flaky, max_batch_size=2)
+
+        async def scenario():
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="model exploded"):
+                await asyncio.gather(batcher.submit(1), batcher.submit(2))
+            survived = await batcher.submit("after")
+            await batcher.drain()
+            return survived
+
+        assert asyncio.run(scenario()) == "after"
+
+    def test_handler_length_mismatch_is_an_error(self):
+        batcher, _ = make_batcher(lambda payloads: [])
+
+        async def scenario():
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                await batcher.submit("x")
+            await batcher.drain()
+
+        asyncio.run(scenario())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(lambda p: p, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_latency_ms"):
+            MicroBatcher(lambda p: p, max_latency_ms=-1.0)
+
+
+class TestMetricsWiring:
+    def test_batch_sizes_latency_and_queue_depth_recorded(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=2, metrics=metrics)
+
+        async def scenario():
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.drain()
+
+        asyncio.run(scenario())
+        assert metrics.requests_total == 4
+        assert metrics.batches_total == 2
+        assert metrics.batch_sizes == {2: 2}
+        assert metrics.queue_depth_peak >= 1
+        assert metrics.request_latency.total == 4

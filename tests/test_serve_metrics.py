@@ -1,0 +1,94 @@
+"""Serving telemetry: histogram math, counters, Prometheus rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve import LatencyHistogram, ServeMetrics
+
+
+class TestLatencyHistogram:
+    def test_percentiles_are_exact_over_the_window(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):  # 1..100 ms
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == 50.0
+        assert histogram.percentile(0.99) == 99.0
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_window_slides(self):
+        histogram = LatencyHistogram(window=4)
+        for value in (100.0, 1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # The 100 ms outlier scrolled out of the window...
+        assert histogram.percentile(1.0) == 4.0
+        # ...but stays in the cumulative counters.
+        assert histogram.total == 5
+        assert histogram.sum_ms == 110.0
+        assert histogram.window_size == 4
+
+    def test_bucket_counts_are_cumulative_in_snapshot(self):
+        histogram = LatencyHistogram(buckets_ms=(1.0, 10.0, math.inf))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"1": 1, "10": 1, "+Inf": 1}
+        assert snapshot["count"] == 3
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(0.99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ascending"):
+            LatencyHistogram(buckets_ms=(2.0, 1.0))
+        with pytest.raises(ValueError, match="window"):
+            LatencyHistogram(window=0)
+        with pytest.raises(ValueError, match="q must be"):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestServeMetrics:
+    def test_counters_and_snapshot(self):
+        metrics = ServeMetrics()
+        metrics.observe_batch(3)
+        metrics.observe_batch(3)
+        metrics.observe_batch(1)
+        for latency in (1.0, 2.0, 3.0):
+            metrics.observe_request(latency)
+        metrics.observe_error()
+        metrics.observe_queue_depth(5)
+        metrics.observe_queue_depth(2)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 3
+        assert snapshot["errors_total"] == 1
+        assert snapshot["batches_total"] == 3
+        assert snapshot["batch_sizes"] == {1: 1, 3: 2}
+        assert snapshot["queue_depth"] == 2
+        assert snapshot["queue_depth_peak"] == 5
+        assert "cache_hit_rate" not in snapshot  # no provider wired
+
+    def test_cache_hit_rate(self):
+        metrics = ServeMetrics()
+        assert metrics.cache_hit_rate() is None
+        stats = {"hits": 0, "misses": 0}
+        metrics.set_cache_stats_provider(lambda: stats)
+        assert metrics.cache_hit_rate() == 0.0
+        stats.update(hits=3, misses=1)
+        assert metrics.cache_hit_rate() == 0.75
+        assert metrics.snapshot()["cache_hit_rate"] == 0.75
+
+    def test_prometheus_rendering(self):
+        metrics = ServeMetrics()
+        metrics.observe_batch(2)
+        metrics.observe_request(1.5)
+        metrics.observe_request(3.0)
+        text = metrics.render()
+        assert "repro_serve_requests_total 2" in text
+        assert 'repro_serve_batch_size_total{size="2"} 1' in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"} 2' in text
+        # Buckets are rendered cumulatively: the 2 ms bucket holds both.
+        assert 'repro_serve_latency_ms_bucket{le="2"} 1' in text
+        assert text.endswith("\n")

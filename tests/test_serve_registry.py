@@ -1,0 +1,157 @@
+"""Model registry: version discovery, corruption fallback, hot swap, caching."""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.io import save_model
+from repro.serve import ModelRegistry, RegistryError, task_fingerprint
+
+
+@pytest.fixture(scope="module")
+def model_artifact(fitted_tiny_model, tmp_path_factory):
+    """One saved tiny-model artifact, copied per test as needed."""
+    root = tmp_path_factory.mktemp("artifact")
+    return save_model(fitted_tiny_model, root / "model")
+
+
+def corrupt_weights(artifact_dir) -> None:
+    """Flip bytes in the weights so the manifest checksum fails."""
+    weights = artifact_dir / "weights.npz"
+    raw = bytearray(weights.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    weights.write_bytes(bytes(raw))
+
+
+class TestDiscoveryAndLoad:
+    def test_single_artifact_root(self, model_artifact):
+        registry = ModelRegistry(model_artifact)
+        version = registry.load()
+        assert version.name == "model"
+        assert version.path == model_artifact
+        assert version.n_features == 12  # TINY_SPEC feature count
+        assert registry.version is version
+        assert registry.model.select is not None
+        assert registry.skipped == []
+
+    def test_versioned_root_serves_newest(self, model_artifact, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        shutil.copytree(model_artifact, root / "v0002")
+        registry = ModelRegistry(root)
+        assert registry.load().name == "v0002"
+
+    def test_corrupt_newest_falls_back(self, model_artifact, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        shutil.copytree(model_artifact, root / "v0002")
+        corrupt_weights(root / "v0002")
+        registry = ModelRegistry(root)
+        assert registry.load().name == "v0001"
+        assert [path.name for path, _ in registry.skipped] == ["v0002"]
+
+    def test_all_versions_corrupt_raises(self, model_artifact, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        corrupt_weights(root / "v0001")
+        registry = ModelRegistry(root)
+        with pytest.raises(RegistryError, match="no valid model version"):
+            registry.load()
+
+    def test_empty_root_raises(self, tmp_path):
+        with pytest.raises(RegistryError, match="no model versions"):
+            ModelRegistry(tmp_path).load()
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry(tmp_path / "nope")
+
+    def test_accessors_require_load(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError, match="call load"):
+            registry.model
+        with pytest.raises(RegistryError, match="call load"):
+            registry.version
+
+
+class TestHotSwap:
+    def test_refresh_picks_up_new_version(self, model_artifact, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        registry = ModelRegistry(root)
+        registry.load()
+        assert registry.refresh() is False  # nothing newer yet
+
+        shutil.copytree(model_artifact, root / "v0002")
+        assert registry.refresh() is True
+        assert registry.version.name == "v0002"
+        assert registry.refresh() is False  # already newest
+
+    def test_refresh_skips_corrupt_newer_and_keeps_serving(
+        self, model_artifact, tmp_path
+    ):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        registry = ModelRegistry(root)
+        registry.load()
+        old_model = registry.model
+
+        shutil.copytree(model_artifact, root / "v0002")
+        corrupt_weights(root / "v0002")
+        assert registry.refresh() is False
+        assert registry.version.name == "v0001"
+        assert registry.model is old_model
+        assert [path.name for path, _ in registry.skipped] == ["v0002"]
+
+
+class TestRepresentationCache:
+    def test_hits_misses_and_values(self, model_artifact, rng):
+        registry = ModelRegistry(model_artifact)
+        features = rng.normal(size=(30, 5))
+        labels = (rng.random(30) > 0.5).astype(np.float64)
+        first = registry.representation(features, labels)
+        second = registry.representation(features, labels)
+        np.testing.assert_array_equal(first, second)
+        assert registry.cache_stats() == {
+            "hits": 1, "misses": 1, "size": 1, "capacity": 256,
+        }
+
+    def test_lru_eviction_is_bounded(self, model_artifact, rng):
+        registry = ModelRegistry(model_artifact, representation_cache_size=2)
+        tasks = [
+            (rng.normal(size=(10, 3)), (rng.random(10) > 0.5).astype(np.float64))
+            for _ in range(3)
+        ]
+        for features, labels in tasks:
+            registry.representation(features, labels)
+        assert registry.cache_stats()["size"] == 2
+        # task 0 was evicted: requesting it again is a miss...
+        registry.representation(*tasks[0])
+        assert registry.cache_stats()["misses"] == 4
+        # ...while task 2 (recently used) still hits.
+        registry.representation(*tasks[2])
+        assert registry.cache_stats()["hits"] == 1
+
+    def test_cache_size_validation(self, model_artifact):
+        with pytest.raises(ValueError, match="representation_cache_size"):
+            ModelRegistry(model_artifact, representation_cache_size=0)
+
+
+class TestTaskFingerprint:
+    def test_sensitive_to_values_shape_and_dtype(self, rng):
+        features = rng.normal(size=(8, 4))
+        labels = np.ones(8)
+        base = task_fingerprint(features, labels)
+        assert task_fingerprint(features, labels) == base
+        assert task_fingerprint(features + 1e-12, labels) != base
+        assert task_fingerprint(features.astype(np.float32), labels) != base
+        assert task_fingerprint(features.reshape(4, 8), labels) != base
+        assert task_fingerprint(features, np.zeros(8)) != base

@@ -1,0 +1,274 @@
+"""End-to-end selection-server tests over real sockets (port 0, loopback).
+
+Each test spins the full stack — registry, engine, micro-batcher, asyncio
+listener — inside :func:`asyncio.run`, talks to it with a minimal raw
+HTTP/1.1 client, and asserts on the JSON that comes back.  The graceful
+shutdown test delivers a real SIGTERM to the process and verifies the
+server drains and returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import signal
+
+import numpy as np
+import pytest
+
+from repro.data.stats import pearson_representation
+from repro.io import save_model
+from repro.serve import ModelRegistry, SelectionServer, ServeMetrics
+
+
+@pytest.fixture(scope="module")
+def model_artifact(fitted_tiny_model, tmp_path_factory):
+    root = tmp_path_factory.mktemp("server-artifact")
+    return save_model(fitted_tiny_model, root / "model")
+
+
+async def http(host, port, method, path, payload=None, raw_body=None):
+    """Tiny HTTP/1.1 client: returns (status, parsed-JSON-or-text body)."""
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload).encode() if payload is not None else b""
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, content = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    if b"application/json" in head:
+        return status, json.loads(content.decode())
+    return status, content.decode()
+
+
+def run_with_server(registry, scenario, **server_kwargs):
+    """Start a server on an ephemeral port, run the scenario, stop it."""
+
+    async def main():
+        server = SelectionServer(registry, port=0, **server_kwargs)
+        await server.start()
+        host, port = server.address
+        try:
+            return await scenario(server, host, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestEndpoints:
+    def test_healthz(self, model_artifact):
+        async def scenario(server, host, port):
+            return await http(host, port, "GET", "/healthz")
+
+        status, body = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 200
+        assert body == {"status": "ok", "model_version": "model", "n_features": 12}
+
+    def test_select_with_representation_matches_model(
+        self, model_artifact, fitted_tiny_model, tiny_split
+    ):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        representation = pearson_representation(task.features, task.labels)
+
+        async def scenario(server, host, port):
+            return await http(
+                host, port, "POST", "/select",
+                payload={"representation": representation.tolist()},
+            )
+
+        status, body = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 200
+        assert tuple(body["subset"]) == fitted_tiny_model.select(task)
+        assert body["n_selected"] == len(body["subset"])
+        assert body["model_version"] == "model"
+        assert body["latency_ms"] >= 0
+
+    def test_select_with_raw_task_data_uses_cache(
+        self, model_artifact, fitted_tiny_model, tiny_split
+    ):
+        train, _ = tiny_split
+        task = train.unseen_tasks[1]
+        payload = {
+            "features": task.features.tolist(),
+            "labels": task.labels.tolist(),
+        }
+
+        async def scenario(server, host, port):
+            first = await http(host, port, "POST", "/select", payload=payload)
+            second = await http(host, port, "POST", "/select", payload=payload)
+            return first, second
+
+        registry = ModelRegistry(model_artifact)
+        (s1, b1), (s2, b2) = run_with_server(registry, scenario)
+        assert (s1, s2) == (200, 200)
+        assert tuple(b1["subset"]) == fitted_tiny_model.select(task)
+        assert b1["subset"] == b2["subset"]
+        stats = registry.cache_stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_concurrent_selects_share_batches(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        reps = [
+            pearson_representation(task.features, task.labels).tolist()
+            for task in train.unseen_tasks
+        ]
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            return await asyncio.gather(*(
+                http(host, port, "POST", "/select", payload={"representation": rep})
+                for rep in reps
+            ))
+
+        responses = run_with_server(
+            ModelRegistry(model_artifact), scenario,
+            metrics=metrics, max_latency_ms=50.0,
+        )
+        assert all(status == 200 for status, _ in responses)
+        assert metrics.requests_total == len(reps)
+        assert metrics.batches_total >= 1
+
+    def test_metrics_exposition(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+
+        async def scenario(server, host, port):
+            await http(host, port, "POST", "/select", payload={"representation": rep})
+            return await http(host, port, "GET", "/metrics")
+
+        status, text = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 200
+        assert "repro_serve_requests_total 1" in text
+        assert 'repro_serve_latency_ms{quantile="0.99"}' in text
+        assert "repro_serve_cache_hit_rate" in text
+
+    def test_reload_hot_swaps_to_new_version(self, model_artifact, tmp_path):
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+
+        async def scenario(server, host, port):
+            _, before = await http(host, port, "POST", "/reload")
+            shutil.copytree(model_artifact, root / "v0002")
+            _, after = await http(host, port, "POST", "/reload")
+            _, health = await http(host, port, "GET", "/healthz")
+            return before, after, health
+
+        before, after, health = run_with_server(ModelRegistry(root), scenario)
+        assert before == {"swapped": False, "model_version": "v0001", "skipped": []}
+        assert after["swapped"] is True
+        assert after["model_version"] == "v0002"
+        assert health["model_version"] == "v0002"
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({}, "needs either"),
+            ({"representation": [[1.0]]}, "flat number list"),
+            ({"features": [[1.0]], "labels": [1.0, 2.0]}, "align"),
+            ({"features": [1.0], "labels": [1.0]}, "2-D"),
+            ({"features": [["x"]], "labels": [1.0]}, "non-numeric"),
+        ],
+    )
+    def test_bad_select_bodies_are_400(self, model_artifact, payload, fragment):
+        async def scenario(server, host, port):
+            return await http(host, port, "POST", "/select", payload=payload)
+
+        status, body = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_wrong_feature_count_is_a_clean_error(self, model_artifact):
+        async def scenario(server, host, port):
+            return await http(
+                host, port, "POST", "/select",
+                payload={"representation": [0.5, 0.5]},  # model serves 12
+            )
+
+        status, body = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 500
+        assert "12-feature tasks" in body["error"]
+
+    def test_invalid_json_is_400(self, model_artifact):
+        async def scenario(server, host, port):
+            return await http(
+                host, port, "POST", "/select", raw_body=b"{not json"
+            )
+
+        status, _ = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 400
+
+    def test_unknown_path_is_404_and_wrong_method_is_405(self, model_artifact):
+        async def scenario(server, host, port):
+            missing = await http(host, port, "GET", "/nope")
+            wrong = await http(host, port, "GET", "/select")
+            return missing, wrong
+
+        (s404, _), (s405, _) = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert (s404, s405) == (404, 405)
+
+    def test_oversize_body_is_413(self, model_artifact):
+        """The guard trips on the declared length, before reading the body."""
+
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /select HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: 8388609\r\n"  # 8 MiB + 1, never sent
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readline()
+            writer.close()
+            return int(head.split(b" ", 2)[1])
+
+        status = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 413
+
+
+class TestLifecycle:
+    def test_address_requires_start(self, model_artifact):
+        server = SelectionServer(ModelRegistry(model_artifact))
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+
+    def test_sigterm_drains_and_returns(self, model_artifact, tiny_split):
+        """`run()` must exit cleanly when the process receives SIGTERM."""
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+
+        async def main():
+            server = SelectionServer(ModelRegistry(model_artifact), port=0)
+            runner = asyncio.ensure_future(server.run(poll_interval_s=0.01))
+            while server._server is None and not runner.done():
+                await asyncio.sleep(0.01)
+            host, port = server.address
+            status, body = await http(
+                host, port, "POST", "/select", payload={"representation": rep}
+            )
+            os.kill(os.getpid(), signal.SIGTERM)
+            await asyncio.wait_for(runner, timeout=10)
+            return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 200
+        assert body["n_selected"] >= 1
