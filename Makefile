@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed typecheck test test-serve test-fault serve bench-serve check
+.PHONY: lint lint-changed typecheck test test-serve test-fault test-chaos serve bench-serve bench-resilience check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
@@ -17,18 +17,24 @@ typecheck:
 		&& $(PYTHON) -m mypy --strict src/repro \
 		|| echo "mypy not installed (pip install -e .[dev]); skipping typecheck"
 
-## Tier-1 suite (excludes the slower fault-injection marker).
+## Tier-1 suite (excludes the fault-injection and chaos markers).
 test:
-	$(PYTHON) -m pytest -x -q -m "not fault"
+	$(PYTHON) -m pytest -x -q -m "not fault and not chaos"
 
 ## Serving subsystem only: engine parity, batcher, registry, server, metrics.
 test-serve:
 	$(PYTHON) -m pytest -x -q tests/test_serve_engine.py tests/test_serve_batcher.py \
-		tests/test_serve_registry.py tests/test_serve_server.py tests/test_serve_metrics.py
+		tests/test_serve_registry.py tests/test_serve_server.py tests/test_serve_metrics.py \
+		tests/test_resilience.py
 
 ## Fault-injection / crash-safety suite.
 test-fault:
 	$(PYTHON) -m pytest -x -q -m fault
+
+## Chaos drills against a live server: latency storms, corrupt artifacts,
+## mid-batch crashes.  Asserts shedding, breaker recovery and exact answers.
+test-chaos:
+	$(PYTHON) -m pytest -x -q -m chaos
 
 ## Run the selection server on a saved model (MODEL=path/to/artifact).
 serve:
@@ -38,5 +44,9 @@ serve:
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve.py
 
+## Resilience-primitive overhead gate; writes BENCH_resilience.json.
+bench-resilience:
+	$(PYTHON) benchmarks/bench_resilience.py
+
 ## Everything CI runs.
-check: lint typecheck test test-fault
+check: lint typecheck test test-fault test-chaos

@@ -120,6 +120,55 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="micro-batching latency budget in ms (default: 5.0)",
     )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="admission-queue bound; beyond it requests are shed with "
+        "429 + Retry-After (default: 256)",
+    )
+    serve.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=2000.0,
+        help="per-request deadline in ms; expired requests get 504 without "
+        "consuming a batch slot (default: 2000; 0 disables)",
+    )
+    serve.add_argument(
+        "--rate-limit-rps",
+        type=float,
+        default=None,
+        help="token-bucket admission rate in requests/s "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive reload failures that trip the model-reload "
+        "circuit breaker open (default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=30.0,
+        help="seconds the reload breaker stays open before a half-open "
+        "probe (default: 30)",
+    )
+    serve.add_argument(
+        "--watchdog-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="flush-loop stall detector: pending work older than this "
+        "fails with a typed error and the loop restarts "
+        "(default: 5000; 0 disables)",
+    )
+    serve.add_argument(
+        "--io-timeout-s",
+        type=float,
+        default=10.0,
+        help="socket read/write timeout per request (default: 10)",
+    )
     return parser
 
 
@@ -244,11 +293,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_batch_size=args.max_batch_size,
         max_latency_ms=args.max_latency_ms,
+        max_queue_depth=args.max_queue_depth,
+        request_timeout_ms=args.request_timeout_ms or None,
+        rate_limit_rps=args.rate_limit_rps,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+        watchdog_timeout_ms=args.watchdog_timeout_ms or None,
+        io_timeout_s=args.io_timeout_s,
     )
     print(
         f"serving model version {version.name!r} ({version.n_features} features) "
         f"on http://{args.host}:{args.port} "
-        f"[batch<={args.max_batch_size}, latency<={args.max_latency_ms}ms] "
+        f"[batch<={args.max_batch_size}, latency<={args.max_latency_ms}ms, "
+        f"queue<={args.max_queue_depth}, deadline="
+        f"{args.request_timeout_ms or 'off'}ms] "
         f"-- POST /select, GET /healthz, GET /metrics; Ctrl-C to drain and exit"
     )
     asyncio.run(server.run())

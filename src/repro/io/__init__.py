@@ -16,8 +16,13 @@ training run demands:
 * :class:`CheckpointManager` and the atomic-write helpers
   (:mod:`repro.io.checkpoint`) — durable, corruption-detecting training
   checkpoints behind ``PAFeat.fit(checkpoint_dir=..., resume=True)``.
-* :mod:`repro.io.faults` — fault-injection primitives (simulated crashes,
-  truncation, bit flips) for drilling the recovery path.
+* :mod:`repro.io.resilience` — the shared resilience primitives
+  (:class:`Deadline`, :class:`Retry`, :class:`CircuitBreaker`,
+  :class:`TokenBucket`) that the serving stack composes into admission
+  control, request deadlines and circuit-broken model loads.
+* :mod:`repro.io.faults` — fault-injection and chaos primitives (simulated
+  crashes, truncation, bit flips, latency storms, scheduled mid-batch
+  failures) for drilling the recovery paths.
 """
 
 from repro.io.checkpoint import (
@@ -31,6 +36,16 @@ from repro.io.checkpoint import (
     atomic_write_npz,
 )
 from repro.io.lifecycle import GracefulShutdown
+from repro.io.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceError,
+    RetriesExhausted,
+    Retry,
+    TokenBucket,
+)
 from repro.io.serialization import (
     load_model,
     load_suite_csv,
@@ -43,7 +58,15 @@ __all__ = [
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointManager",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
     "GracefulShutdown",
+    "ResilienceError",
+    "RetriesExhausted",
+    "Retry",
+    "TokenBucket",
     "TrainingInterrupted",
     "atomic_write_bytes",
     "atomic_write_json",

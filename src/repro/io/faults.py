@@ -1,7 +1,8 @@
-"""Fault-injection helpers for crash-safety testing.
+"""Fault-injection and chaos helpers for crash-safety and overload testing.
 
-Small, dependency-free primitives used by ``tests/test_fault_injection.py``
-to simulate the failure modes the checkpoint subsystem defends against:
+Small, dependency-light primitives used by ``tests/test_fault_injection.py``
+and the serving chaos suite (``tests/test_chaos_serving.py``) to simulate
+the failure modes the checkpoint and serving subsystems defend against:
 
 * :class:`CrashAt` — a ``stop_check``-style callable that raises
   :class:`SimulatedCrash` on its N-th invocation, modelling a hard kill
@@ -11,6 +12,14 @@ to simulate the failure modes the checkpoint subsystem defends against:
   disk mid-write on a non-atomic writer.
 * :func:`flip_bit` — flip one bit in place, modelling silent media or
   transfer corruption that leaves the file length intact.
+* :class:`LatencyStorm` — a seeded, toggleable delay schedule wrapped
+  around a callable, modelling a slow disk or a GC/IO stall in the
+  inference handler (the delays block exactly like real slowness would).
+* :class:`ScheduledFailures` — raise on chosen call indices, modelling
+  intermittent mid-batch exceptions that must fail one batch, not the
+  process.
+* :func:`corrupt_model_artifact` — flip a bit inside a saved model's
+  weights, modelling a corrupt published version the registry must skip.
 
 They live in the library (not the test tree) so downstream deployments can
 reuse them to drill their own recovery procedures.
@@ -19,7 +28,11 @@ reuse them to drill their own recovery procedures.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
 
 
 class SimulatedCrash(RuntimeError):
@@ -76,3 +89,97 @@ def flip_bit(path: str | Path, byte_offset: int | None = None, bit: int = 0) -> 
         handle.flush()
         os.fsync(handle.fileno())
     return path
+
+
+def corrupt_model_artifact(
+    artifact_dir: str | Path, filename: str = "weights.npz"
+) -> Path:
+    """Flip one bit inside a saved model artifact's payload file.
+
+    The manifest checksums written by :func:`repro.io.save_model` still
+    describe the original bytes, so any subsequent checksum-verified load
+    of this version must fail — the registry-fallback scenario.
+    """
+    target = Path(artifact_dir) / filename
+    if not target.is_file():
+        raise FileNotFoundError(f"artifact payload {target} does not exist")
+    return flip_bit(target)
+
+
+class LatencyStorm:
+    """Seeded, toggleable latency injection around a synchronous callable.
+
+    While :attr:`active`, each wrapped call first blocks for a delay drawn
+    uniformly from ``[min_delay_s, max_delay_s]`` out of a seeded
+    :class:`numpy.random.Generator` — the schedule replays exactly for a
+    given seed.  Blocking is the point: a slow model load or a stalled
+    disk blocks the caller just like this does.  ``sleep`` is injectable
+    so unit tests can record the schedule instead of waiting it out.
+    """
+
+    def __init__(
+        self,
+        min_delay_s: float,
+        max_delay_s: float,
+        *,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if min_delay_s < 0:
+            raise ValueError(f"min_delay_s must be >= 0, got {min_delay_s}")
+        if max_delay_s < min_delay_s:
+            raise ValueError("max_delay_s must be >= min_delay_s")
+        self.min_delay_s = min_delay_s
+        self.max_delay_s = max_delay_s
+        self.active = False
+        self.calls_delayed = 0
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+
+    def next_delay(self) -> float:
+        """Draw the next delay from the seeded schedule."""
+        span = self.max_delay_s - self.min_delay_s
+        return self.min_delay_s + span * float(self._rng.random())
+
+    def start(self) -> None:
+        self.active = True
+
+    def stop(self) -> None:
+        self.active = False
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """``fn`` with storm delays injected before every call while active."""
+
+        def stormy(*args: Any, **kwargs: Any) -> Any:
+            if self.active:
+                self.calls_delayed += 1
+                self._sleep(self.next_delay())
+            return fn(*args, **kwargs)
+
+        return stormy
+
+
+class ScheduledFailures:
+    """Raise :class:`SimulatedCrash` on chosen call indices (1-based).
+
+    Wrapping a batch handler with ``ScheduledFailures({2, 5})`` makes its
+    2nd and 5th invocations explode mid-batch — the "one bad batch must
+    not kill the worker, and must never emit a partial response" drill.
+    """
+
+    def __init__(self, at_calls: Iterable[int]) -> None:
+        self.at_calls = frozenset(int(n) for n in at_calls)
+        if any(n < 1 for n in self.at_calls):
+            raise ValueError("call indices are 1-based and must be >= 1")
+        self.calls = 0
+        self.failures = 0
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        def flaky(*args: Any, **kwargs: Any) -> Any:
+            self.calls += 1
+            if self.calls in self.at_calls:
+                self.failures += 1
+                raise SimulatedCrash(f"injected mid-batch failure at call {self.calls}")
+            return fn(*args, **kwargs)
+
+        return flaky

@@ -12,17 +12,29 @@ that property into a service:
   verified model loading with corruption fallback, hot swap and an LRU
   task-representation cache;
 * :class:`~repro.serve.batcher.MicroBatcher` — an asyncio request queue
-  that flushes on batch size or latency budget, with graceful drain;
+  that flushes on batch size or latency budget, with bounded-depth
+  admission control, per-request deadlines, a self-healing flush-loop
+  watchdog and graceful drain;
 * :class:`~repro.serve.server.SelectionServer` — ``/select``,
-  ``/healthz``, ``/metrics`` and ``/reload`` over stdlib asyncio;
+  ``/healthz``, ``/metrics`` and ``/reload`` over stdlib asyncio, with
+  structured overload behaviour (429 + ``Retry-After`` shedding, 504 on
+  expired deadlines, a circuit breaker around model reloads) built on
+  :mod:`repro.io.resilience`;
 * :class:`~repro.serve.metrics.ServeMetrics` — latency p50/p99, queue
-  depth, batch-size distribution and cache hit rate.
+  depth, batch-size distribution, cache hit rate and the shed/deadline/
+  breaker/watchdog resilience counters.
 
 Run it: ``python -m repro serve --checkpoint-dir <model-or-versions-dir>``
 (see ``examples/serve_client.py`` for a self-contained demo).
 """
 
-from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.batcher import (
+    BatcherClosed,
+    BatcherStalled,
+    MicroBatcher,
+    QueueFull,
+    ServiceUnavailable,
+)
 from repro.serve.engine import BatchedGreedyEngine
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
 from repro.serve.registry import (
@@ -36,12 +48,15 @@ from repro.serve.server import SelectionServer
 __all__ = [
     "BatchedGreedyEngine",
     "BatcherClosed",
+    "BatcherStalled",
     "LatencyHistogram",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "QueueFull",
     "RegistryError",
     "SelectionServer",
     "ServeMetrics",
+    "ServiceUnavailable",
     "task_fingerprint",
 ]

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.batch import batched_greedy_subsets
 from repro.core.config import EnvConfig
 from repro.core.state import N_SCAN_SCALARS
+from repro.io.resilience import Deadline, DeadlineExceeded
 
 if TYPE_CHECKING:
     from repro.core.pafeat import PAFeat
@@ -74,9 +75,17 @@ class BatchedGreedyEngine:
         )
 
     def select_representations(
-        self, representations: Sequence[np.ndarray]
+        self,
+        representations: Sequence[np.ndarray],
+        deadline: Deadline | None = None,
     ) -> list[tuple[int, ...]]:
-        """Greedy subsets for task-representation vectors, in input order."""
+        """Greedy subsets for task-representation vectors, in input order.
+
+        An optional :class:`~repro.io.resilience.Deadline` is checked
+        between lockstep chunks, so an oversized request batch aborts with
+        :class:`~repro.io.resilience.DeadlineExceeded` at the next chunk
+        boundary instead of monopolising the event loop past its budget.
+        """
         reps = [
             np.asarray(rep, dtype=np.float64).reshape(-1)
             for rep in representations
@@ -89,6 +98,11 @@ class BatchedGreedyEngine:
                 )
         results: list[tuple[int, ...]] = []
         for start in range(0, len(reps), self.max_batch_size):
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"batched selection exceeded its deadline after "
+                    f"{len(results)}/{len(reps)} tasks"
+                )
             results.extend(
                 batched_greedy_subsets(
                     self.agent,

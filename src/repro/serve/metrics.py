@@ -29,6 +29,9 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
     0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0, math.inf,
 )
 
+#: Numeric encoding of circuit-breaker states for the gauge exposition.
+BREAKER_STATE_VALUES: dict[str, int] = {"closed": 0, "half_open": 1, "open": 2}
+
 
 class LatencyHistogram:
     """Cumulative log-bucket histogram plus an exact sliding window."""
@@ -106,7 +109,19 @@ class ServeMetrics:
         #: queue depth sampled at each enqueue (peak-ish view of pressure).
         self.queue_depth = 0
         self.queue_depth_peak = 0
+        #: requests shed by admission control, keyed by reason
+        #: (``queue_full``, ``rate_limit``).
+        self.shed_total: dict[str, int] = {}
+        #: requests rejected or abandoned because their deadline expired.
+        self.deadline_exceeded_total = 0
+        #: flush-loop restarts performed by the batcher watchdog.
+        self.watchdog_restarts_total = 0
+        #: client connections that vanished mid-request (reset/timeout/EOF).
+        self.dropped_connections_total = 0
+        #: circuit-breaker state transitions (any direction).
+        self.breaker_transitions_total = 0
         self._cache_stats: Callable[[], Mapping[str, int]] | None = None
+        self._breaker_state: Callable[[], str] | None = None
 
     # -- recording ------------------------------------------------------
     def observe_request(self, latency_ms: float) -> None:
@@ -115,6 +130,22 @@ class ServeMetrics:
 
     def observe_error(self) -> None:
         self.errors_total += 1
+
+    def observe_shed(self, reason: str = "queue_full") -> None:
+        self.shed_total[reason] = self.shed_total.get(reason, 0) + 1
+
+    def observe_deadline_exceeded(self) -> None:
+        self.deadline_exceeded_total += 1
+
+    def observe_watchdog_restart(self) -> None:
+        self.watchdog_restarts_total += 1
+
+    def observe_dropped_connection(self) -> None:
+        self.dropped_connections_total += 1
+
+    def observe_breaker_transition(self, old_state: str, new_state: str) -> None:
+        del old_state, new_state  # the transition count is state-agnostic
+        self.breaker_transitions_total += 1
 
     def observe_batch(self, size: int) -> None:
         self.batches_total += 1
@@ -129,6 +160,10 @@ class ServeMetrics:
     ) -> None:
         """Hook the registry's representation-cache counters in lazily."""
         self._cache_stats = provider
+
+    def set_breaker_state_provider(self, provider: Callable[[], str]) -> None:
+        """Hook the reload circuit breaker's state in lazily."""
+        self._breaker_state = provider
 
     # -- reading --------------------------------------------------------
     def cache_hit_rate(self) -> float | None:
@@ -149,8 +184,15 @@ class ServeMetrics:
             "batch_sizes": dict(sorted(self.batch_sizes.items())),
             "queue_depth": self.queue_depth,
             "queue_depth_peak": self.queue_depth_peak,
+            "shed_total": dict(sorted(self.shed_total.items())),
+            "deadline_exceeded_total": self.deadline_exceeded_total,
+            "watchdog_restarts_total": self.watchdog_restarts_total,
+            "dropped_connections_total": self.dropped_connections_total,
+            "breaker_transitions_total": self.breaker_transitions_total,
             "latency": self.request_latency.snapshot(),
         }
+        if self._breaker_state is not None:
+            data["breaker_state"] = self._breaker_state()
         hit_rate = self.cache_hit_rate()
         if hit_rate is not None:
             data["cache_hit_rate"] = round(hit_rate, 6)
@@ -187,6 +229,29 @@ class ServeMetrics:
         lines.append("# TYPE repro_serve_batch_size_total counter")
         for size, count in sorted(self.batch_sizes.items()):
             lines.append(f'repro_serve_batch_size_total{{size="{size}"}} {count}')
+        lines.append("# TYPE repro_serve_shed_total counter")
+        for reason in ("queue_full", "rate_limit"):
+            count = self.shed_total.get(reason, 0)
+            lines.append(f'repro_serve_shed_total{{reason="{reason}"}} {count}')
+        for reason, count in sorted(self.shed_total.items()):
+            if reason not in ("queue_full", "rate_limit"):
+                lines.append(f'repro_serve_shed_total{{reason="{reason}"}} {count}')
+        lines.extend([
+            "# TYPE repro_serve_deadline_exceeded_total counter",
+            f"repro_serve_deadline_exceeded_total {self.deadline_exceeded_total}",
+            "# TYPE repro_serve_watchdog_restarts_total counter",
+            f"repro_serve_watchdog_restarts_total {self.watchdog_restarts_total}",
+            "# TYPE repro_serve_dropped_connections_total counter",
+            f"repro_serve_dropped_connections_total {self.dropped_connections_total}",
+            "# TYPE repro_serve_breaker_transitions_total counter",
+            f"repro_serve_breaker_transitions_total {self.breaker_transitions_total}",
+        ])
+        if self._breaker_state is not None:
+            state = self._breaker_state()
+            value = BREAKER_STATE_VALUES.get(state, -1)
+            lines.append("# HELP repro_serve_breaker_state 0=closed 1=half_open 2=open")
+            lines.append("# TYPE repro_serve_breaker_state gauge")
+            lines.append(f"repro_serve_breaker_state {value}")
         hit_rate = self.cache_hit_rate()
         if hit_rate is not None:
             lines.append("# TYPE repro_serve_cache_hit_rate gauge")

@@ -55,6 +55,9 @@ if TYPE_CHECKING:
 
 logger = logging.getLogger(__name__)
 
+#: Cap on the retained skip records (oldest evicted first).
+MAX_SKIP_HISTORY = 50
+
 
 class RegistryError(RuntimeError):
     """No servable model version could be loaded from the registry root."""
@@ -100,8 +103,13 @@ class ModelRegistry:
         if not self.root.is_dir():
             raise FileNotFoundError(f"registry root {self.root} is not a directory")
         #: corrupt/unloadable versions seen by :meth:`load`/:meth:`refresh`,
-        #: as ``(path, reason)`` pairs — surfaced for observability.
+        #: as ``(path, reason)`` pairs — surfaced for observability.  Bounded
+        #: to the most recent :data:`MAX_SKIP_HISTORY` entries so a long-lived
+        #: server polling a broken publisher cannot grow it without limit.
         self.skipped: list[tuple[Path, str]] = []
+        #: lifetime count of skipped candidates (never trimmed) — the delta
+        #: between two reads is the circuit breaker's failure signal.
+        self.skips_total = 0
         self._model: "PAFeat | None" = None
         self._version: ModelVersion | None = None
         self._cache_capacity = representation_cache_size
@@ -167,6 +175,8 @@ class ModelRegistry:
         except (ValueError, OSError, KeyError) as exc:
             logger.warning("skipping model version %s: %s", path, exc)
             self.skipped.append((path, str(exc)))
+            self.skips_total += 1
+            del self.skipped[:-MAX_SKIP_HISTORY]
             return None
         assert model._n_features is not None
         version = ModelVersion(

@@ -345,6 +345,122 @@ def test_hot701_ignores_functions_outside_contract():
 
 
 # ---------------------------------------------------------------------------
+# RES801 — resilience discipline for always-bounded packages
+# ---------------------------------------------------------------------------
+
+def res_config():
+    return layered_config(
+        layer_ranks={"data": 0, "core": 2, "serve": 3},
+        resilience_packages=("pkg.serve",),
+    )
+
+
+def test_res801_flags_unbounded_stream_await():
+    src = (
+        "async def handle(reader):\n"
+        "    line = await reader.readline()\n"
+        "    return line\n"
+    )
+    findings = analyze_source(
+        src, Path("pkg/serve/server.py"), module="pkg.serve.server",
+        config=res_config(),
+    )
+    res = [f for f in findings if f.code == "RES801"]
+    assert res and "readline" in res[0].message
+
+
+def test_res801_wait_for_wrapped_await_is_compliant():
+    src = (
+        "import asyncio\n"
+        "async def handle(reader, timeout):\n"
+        "    return await asyncio.wait_for(reader.readline(), timeout)\n"
+    )
+    findings = analyze_source(
+        src, Path("pkg/serve/server.py"), module="pkg.serve.server",
+        config=res_config(),
+    )
+    assert "RES801" not in codes(findings)
+
+
+def test_res801_flags_direct_file_io():
+    source_open = (
+        "def load(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+    )
+    findings = analyze_source(
+        source_open, Path("pkg/serve/registry.py"), module="pkg.serve.registry",
+        config=res_config(),
+    )
+    assert "RES801" in codes(findings)
+
+    source_pathlib = (
+        "def load(path):\n"
+        "    return path.read_bytes()\n"
+    )
+    findings = analyze_source(
+        source_pathlib, Path("pkg/serve/registry.py"),
+        module="pkg.serve.registry", config=res_config(),
+    )
+    res = [f for f in findings if f.code == "RES801"]
+    assert res and "read_bytes" in res[0].message
+
+
+def test_res801_only_applies_to_scoped_packages():
+    src = (
+        "async def handle(reader):\n"
+        "    return await reader.readline()\n"
+    )
+    findings = analyze_source(
+        src, Path("pkg/core/pipe.py"), module="pkg.core.pipe",
+        config=res_config(),
+    )
+    assert "RES801" not in codes(findings)
+    # And with no resilience contract at all, nothing anywhere is flagged.
+    findings = analyze_source(
+        src, Path("pkg/serve/server.py"), module="pkg.serve.server",
+        config=layered_config(layer_ranks={"data": 0, "serve": 3}),
+    )
+    assert "RES801" not in codes(findings)
+
+
+def test_res801_suppression_comment_is_honored():
+    src = (
+        "async def pump(queue):\n"
+        "    return await queue.drain()  # repolint: disable=RES801\n"
+    )
+    findings = analyze_source(
+        src, Path("pkg/serve/server.py"), module="pkg.serve.server",
+        config=res_config(),
+    )
+    assert "RES801" not in codes(findings)
+
+
+def test_resilience_packages_parse_from_pyproject_section():
+    text = (
+        "[tool.repolint]\n"
+        'package = "pkg"\n'
+        "[tool.repolint.resilience]\n"
+        'packages = ["pkg.serve", "pkg.cli"]\n'
+    )
+    config = RepolintConfig.from_mapping(parse_toml(text)["tool"]["repolint"])
+    assert config.resilience_packages == ("pkg.serve", "pkg.cli")
+
+
+def test_res801_clean_on_real_serve_layer():
+    """The repo's own serve package satisfies its resilience contract."""
+    program = real_program()
+    assert program is not None
+    from tools.repolint.rules.resilience import UnboundedServeIORule
+
+    findings = list(UnboundedServeIORule().check_program(program))
+    # The only raw await is the batcher drain in stop(), suppressed with a
+    # rationale at the call site.
+    assert [f for f in findings if "serve" in f.path] == findings
+    assert len(findings) <= 1
+
+
+# ---------------------------------------------------------------------------
 # Effect inference — edge cases
 # ---------------------------------------------------------------------------
 

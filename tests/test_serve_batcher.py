@@ -13,7 +13,15 @@ import asyncio
 
 import pytest
 
-from repro.serve import BatcherClosed, MicroBatcher, ServeMetrics
+from repro.io.resilience import Deadline, DeadlineExceeded
+from repro.serve import (
+    BatcherClosed,
+    BatcherStalled,
+    MicroBatcher,
+    QueueFull,
+    ServeMetrics,
+    ServiceUnavailable,
+)
 
 
 class FakeClock:
@@ -232,6 +240,211 @@ class TestErrors:
             MicroBatcher(lambda p: p, max_batch_size=0)
         with pytest.raises(ValueError, match="max_latency_ms"):
             MicroBatcher(lambda p: p, max_latency_ms=-1.0)
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_retry_hint(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            handler,
+            max_batch_size=2,
+            max_latency_ms=5.0,
+            max_queue_depth=1,
+            clock=clock,
+            wait_for=make_fake_wait_for(clock),
+            metrics=metrics,
+        )
+
+        async def scenario():
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(3)), return_exceptions=True
+            )
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(scenario())
+        shed = [r for r in results if isinstance(r, QueueFull)]
+        served = [r for r in results if not isinstance(r, BaseException)]
+        assert shed, "the bounded queue never shed"
+        assert served, "admission control shed everything"
+        assert all(error.capacity == 1 for error in shed)
+        assert all(error.retry_after_s > 0 for error in shed)
+        assert metrics.shed_total["queue_full"] == len(shed)
+
+    def test_unbounded_by_default(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=2)
+
+        async def scenario():
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(50)))
+            await batcher.drain()
+            return results
+
+        assert len(asyncio.run(scenario())) == 50
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            MicroBatcher(lambda p: p, max_queue_depth=0)
+        with pytest.raises(ValueError, match="watchdog_timeout_ms"):
+            MicroBatcher(lambda p: p, watchdog_timeout_ms=0.0)
+
+
+class TestDeadlines:
+    def test_expired_deadline_rejected_before_admission(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            handler,
+            clock=clock,
+            wait_for=make_fake_wait_for(clock),
+            metrics=metrics,
+        )
+
+        async def scenario():
+            await batcher.start()
+            dead = Deadline(0.0, clock=clock)
+            with pytest.raises(DeadlineExceeded, match="before admission"):
+                await batcher.submit("late", deadline=dead)
+            await batcher.drain()
+
+        asyncio.run(scenario())
+        assert handler.batches == []  # never reached the queue
+        assert metrics.deadline_exceeded_total == 1
+
+    def test_deadline_expiring_in_queue_never_wastes_a_batch_slot(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            handler,
+            max_batch_size=8,
+            max_latency_ms=5.0,
+            clock=clock,
+            wait_for=make_fake_wait_for(clock),
+            metrics=metrics,
+        )
+
+        async def scenario():
+            await batcher.start()
+            # Budget (3 ms) below the flush latency budget (5 ms): by the
+            # time the partial batch flushes, this request has expired.
+            tight = Deadline.after_ms(3.0, clock=clock)
+            with pytest.raises(DeadlineExceeded, match="expired while queued"):
+                await batcher.submit("tight", deadline=tight)
+            roomy = await batcher.submit("roomy")
+            await batcher.drain()
+            return roomy
+
+        assert asyncio.run(scenario()) == ("done", "roomy")
+        # The expired request never reached the handler.
+        assert handler.batches == [["roomy"]]
+        assert metrics.deadline_exceeded_total == 1
+
+
+class TestWatchdog:
+    def test_crashed_worker_is_restarted_and_serving_resumes(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            handler,
+            max_batch_size=2,
+            max_latency_ms=5.0,
+            watchdog_timeout_ms=20.0,
+            clock=clock,
+            wait_for=make_fake_wait_for(clock),
+            metrics=metrics,
+        )
+
+        async def scenario():
+            await batcher.start()
+            assert batcher.running
+            batcher._worker.cancel()  # simulate the flush loop dying
+            for _ in range(200):
+                if batcher.running and batcher.restarts:
+                    break
+                await asyncio.sleep(0.005)
+            assert batcher.restarts == 1
+            result = await batcher.submit("after crash")
+            await batcher.drain()
+            return result
+
+        assert asyncio.run(scenario()) == ("done", "after crash")
+        assert metrics.watchdog_restarts_total == 1
+
+    def test_stalled_worker_fails_inflight_with_typed_error(self):
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        clock = FakeClock()
+        hang_once = {"armed": True}
+        fallback = make_fake_wait_for(clock)
+
+        async def stalling_wait_for(awaitable, timeout):
+            if not hang_once["armed"]:
+                return await fallback(awaitable, timeout)
+            hang_once["armed"] = False
+            task = asyncio.ensure_future(awaitable)
+            try:
+                await asyncio.Event().wait()  # wedge: never completes
+            finally:
+                task.cancel()
+
+        batcher = MicroBatcher(
+            handler,
+            max_batch_size=8,
+            max_latency_ms=5.0,
+            watchdog_timeout_ms=40.0,
+            clock=clock,
+            wait_for=stalling_wait_for,
+            metrics=metrics,
+        )
+
+        async def scenario():
+            await batcher.start()
+            stranded = asyncio.ensure_future(batcher.submit("stranded"))
+            for _ in range(10):  # let the worker gather it, beat, then wedge
+                await asyncio.sleep(0)
+            clock.advance(1.0)  # fake time: way past the stall threshold
+            with pytest.raises(BatcherStalled, match="failed by the watchdog"):
+                await asyncio.wait_for(stranded, timeout=5.0)
+            result = await batcher.submit("after stall")
+            await batcher.drain()
+            return result
+
+        assert asyncio.run(scenario()) == ("done", "after stall")
+        assert batcher.restarts == 1
+        assert metrics.watchdog_restarts_total == 1
+
+
+class TestDrainAbandonment:
+    def test_dead_worker_queue_is_failed_not_hung(self):
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=8)
+
+        async def scenario():
+            await batcher.start()
+            # Kill the worker with no watchdog: submissions now sit in the
+            # queue with nothing to serve them.
+            batcher._worker.cancel()
+            await asyncio.sleep(0)
+            stranded = asyncio.ensure_future(batcher.submit("stranded"))
+            await asyncio.sleep(0)
+            await batcher.drain()
+            with pytest.raises(ServiceUnavailable, match="drained before"):
+                await asyncio.wait_for(stranded, timeout=1.0)
+
+        asyncio.run(scenario())
+        assert handler.batches == []
+
+    def test_service_unavailable_is_a_batcher_closed(self):
+        # The server maps BatcherClosed to 503; the drain-abandonment error
+        # must ride the same path.
+        assert issubclass(ServiceUnavailable, BatcherClosed)
 
 
 class TestMetricsWiring:

@@ -51,6 +51,34 @@ async def http(host, port, method, path, payload=None, raw_body=None):
     return status, content.decode()
 
 
+async def http_full(host, port, method, path, payload=None):
+    """Like :func:`http` but also returns the response headers."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, content = response.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parsed = (
+        json.loads(content.decode())
+        if headers.get("content-type", "").startswith("application/json")
+        else content.decode()
+    )
+    return status, headers, parsed
+
+
 def run_with_server(registry, scenario, **server_kwargs):
     """Start a server on an ephemeral port, run the scenario, stop it."""
 
@@ -73,7 +101,13 @@ class TestEndpoints:
 
         status, body = run_with_server(ModelRegistry(model_artifact), scenario)
         assert status == 200
-        assert body == {"status": "ok", "model_version": "model", "n_features": 12}
+        assert body == {
+            "status": "ok",
+            "model_version": "model",
+            "n_features": 12,
+            "batcher_running": True,
+            "breaker": "closed",
+        }
 
     def test_select_with_representation_matches_model(
         self, model_artifact, fitted_tiny_model, tiny_split
@@ -169,7 +203,12 @@ class TestEndpoints:
             return before, after, health
 
         before, after, health = run_with_server(ModelRegistry(root), scenario)
-        assert before == {"swapped": False, "model_version": "v0001", "skipped": []}
+        assert before == {
+            "swapped": False,
+            "model_version": "v0001",
+            "breaker": "closed",
+            "skipped": [],
+        }
         assert after["swapped"] is True
         assert after["model_version"] == "v0002"
         assert health["model_version"] == "v0002"
@@ -243,6 +282,217 @@ class TestErrorPaths:
         assert status == 413
 
 
+class TestOverload:
+    def test_full_queue_sheds_429_with_retry_after(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            return await asyncio.gather(*(
+                http_full(
+                    host, port, "POST", "/select", payload={"representation": rep}
+                )
+                for _ in range(10)
+            ))
+
+        responses = run_with_server(
+            ModelRegistry(model_artifact), scenario,
+            metrics=metrics, max_queue_depth=1, max_batch_size=64,
+            max_latency_ms=100.0,
+        )
+        shed = [r for r in responses if r[0] == 429]
+        served = [r for r in responses if r[0] == 200]
+        assert shed, "a depth-1 queue under a 10-deep burst never shed"
+        assert served, "admission control shed every request"
+        for _, headers, body in shed:
+            assert int(headers["retry-after"]) >= 1
+            assert "queue is full" in body["error"]
+        assert metrics.shed_total["queue_full"] == len(shed)
+        assert metrics.snapshot()["shed_total"]["queue_full"] == len(shed)
+
+    def test_rate_limit_sheds_429_with_retry_after(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            first = await http_full(
+                host, port, "POST", "/select", payload={"representation": rep}
+            )
+            second = await http_full(
+                host, port, "POST", "/select", payload={"representation": rep}
+            )
+            return first, second
+
+        first, second = run_with_server(
+            ModelRegistry(model_artifact), scenario,
+            metrics=metrics, rate_limit_rps=0.5, rate_limit_burst=1.0,
+        )
+        assert first[0] == 200
+        status, headers, body = second
+        assert status == 429
+        assert "rate limit" in body["error"]
+        assert int(headers["retry-after"]) >= 1
+        assert metrics.shed_total["rate_limit"] == 1
+
+    def test_expired_deadline_is_504(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            return await http(
+                host, port, "POST", "/select", payload={"representation": rep}
+            )
+
+        status, body = run_with_server(
+            ModelRegistry(model_artifact), scenario,
+            metrics=metrics, request_timeout_ms=0.001,
+        )
+        assert status == 504
+        assert "deadline" in body["error"]
+        assert metrics.deadline_exceeded_total == 1
+
+    def test_client_timeout_ms_caps_the_budget(self, model_artifact, tiny_split):
+        train, _ = tiny_split
+        rep = pearson_representation(
+            train.unseen_tasks[0].features, train.unseen_tasks[0].labels
+        ).tolist()
+
+        async def scenario(server, host, port):
+            expired = await http(
+                host, port, "POST", "/select",
+                payload={"representation": rep, "timeout_ms": 0.001},
+            )
+            invalid = await http(
+                host, port, "POST", "/select",
+                payload={"representation": rep, "timeout_ms": -5},
+            )
+            roomy = await http(
+                host, port, "POST", "/select",
+                payload={"representation": rep, "timeout_ms": 30000},
+            )
+            return expired, invalid, roomy
+
+        expired, invalid, roomy = run_with_server(
+            ModelRegistry(model_artifact), scenario
+        )
+        assert expired[0] == 504  # client budget, server default none
+        assert invalid[0] == 400
+        assert "timeout_ms" in invalid[1]["error"]
+        assert roomy[0] == 200
+
+    def test_dropped_connection_is_counted_not_crashed(self, model_artifact):
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /select HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: 100\r\n"
+                b"Connection: close\r\n\r\n"
+            )  # declared body never arrives
+            await writer.drain()
+            writer.close()
+            for _ in range(200):
+                if metrics.dropped_connections_total:
+                    break
+                await asyncio.sleep(0.005)
+            # The listener must still serve after the half-request.
+            return await http(host, port, "GET", "/healthz")
+
+        status, _ = run_with_server(
+            ModelRegistry(model_artifact), scenario, metrics=metrics
+        )
+        assert status == 200
+        assert metrics.dropped_connections_total == 1
+        assert metrics.errors_total == 0  # a vanished client is not a bug
+        snapshot = metrics.snapshot()
+        assert snapshot["dropped_connections_total"] == 1
+
+
+class TestReloadBreaker:
+    def test_corrupt_publishes_trip_the_breaker_and_recovery_closes_it(
+        self, model_artifact, tmp_path
+    ):
+        from repro.io.faults import corrupt_model_artifact
+
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        metrics = ServeMetrics()
+
+        async def scenario(server, host, port):
+            # Publish a corrupt v0002: every reload keeps failing on it.
+            shutil.copytree(model_artifact, root / "v0002")
+            corrupt_model_artifact(root / "v0002")
+            statuses = []
+            for _ in range(2):  # failure_threshold trips here
+                status, _, body = await http_full(host, port, "POST", "/reload")
+                statuses.append((status, body["breaker"]))
+            open_status, open_headers, open_body = await http_full(
+                host, port, "POST", "/reload"
+            )
+            _, degraded = await http(host, port, "GET", "/healthz")
+            still_serving, _ = await http(host, port, "GET", "/metrics")
+
+            # The fault clears: the corrupt candidate is unpublished.
+            shutil.rmtree(root / "v0002")
+            await asyncio.sleep(0.06)  # breaker_reset_s elapses -> half-open
+            recovered_status, _, recovered = await http_full(
+                host, port, "POST", "/reload"
+            )
+            _, healthy = await http(host, port, "GET", "/healthz")
+            return (
+                statuses, open_status, open_headers, open_body,
+                degraded, still_serving, recovered_status, recovered, healthy,
+            )
+
+        (
+            statuses, open_status, open_headers, open_body,
+            degraded, still_serving, recovered_status, recovered, healthy,
+        ) = run_with_server(
+            ModelRegistry(root), scenario,
+            metrics=metrics, breaker_failure_threshold=2, breaker_reset_s=0.05,
+        )
+        # Both failing reloads return 200 (still serving last-good v0001)
+        # but count as breaker failures; the second trips it open.
+        assert [status for status, _ in statuses] == [200, 200]
+        assert statuses[-1][1] == "open"
+        # Open circuit: reloads refused outright with a retry hint.
+        assert open_status == 503
+        assert "circuit is open" in open_body["error"]
+        assert int(open_headers["retry-after"]) >= 1
+        assert open_body["model_version"] == "v0001"
+        assert degraded["status"] == "degraded"
+        assert still_serving == 200
+        # Fault cleared + reset timeout elapsed: the half-open probe
+        # succeeds and the breaker closes.
+        assert recovered_status == 200
+        assert recovered["breaker"] == "closed"
+        assert healthy["status"] == "ok"
+        assert healthy["model_version"] == "v0001"
+        assert metrics.breaker_transitions_total >= 2  # tripped + recovered
+        assert metrics.snapshot()["breaker_state"] == "closed"
+
+    def test_breaker_state_is_exported_in_metrics_text(self, model_artifact):
+        async def scenario(server, host, port):
+            _, text = await http(host, port, "GET", "/metrics")
+            return text
+
+        text = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert "repro_serve_breaker_state 0" in text
+        assert "repro_serve_breaker_transitions_total 0" in text
+
+
 class TestLifecycle:
     def test_address_requires_start(self, model_artifact):
         server = SelectionServer(ModelRegistry(model_artifact))
@@ -272,3 +522,51 @@ class TestLifecycle:
         status, body = asyncio.run(main())
         assert status == 200
         assert body["n_selected"] >= 1
+
+    def test_sigterm_under_concurrent_load_drains_every_accepted_request(
+        self, model_artifact, tiny_split
+    ):
+        """In-flight requests at SIGTERM complete with real answers.
+
+        A generous micro-batching budget keeps a burst of requests queued
+        when the signal lands; the drain must flush them all — no hung
+        futures, no connection resets, no 5xx.
+        """
+        train, _ = tiny_split
+        reps = [
+            pearson_representation(task.features, task.labels).tolist()
+            for task in train.unseen_tasks
+        ]
+        metrics = ServeMetrics()
+
+        async def main():
+            server = SelectionServer(
+                ModelRegistry(model_artifact), port=0,
+                max_batch_size=64, max_latency_ms=250.0, metrics=metrics,
+            )
+            runner = asyncio.ensure_future(server.run(poll_interval_s=0.01))
+            while server._server is None and not runner.done():
+                await asyncio.sleep(0.01)
+            host, port = server.address
+            requests = [
+                asyncio.ensure_future(
+                    http(host, port, "POST", "/select",
+                         payload={"representation": rep})
+                )
+                for rep in reps
+            ]
+            # Wait until the burst is actually queued server-side, then
+            # yank the rug.
+            for _ in range(500):
+                if metrics.queue_depth_peak >= 1:
+                    break
+                await asyncio.sleep(0.005)
+            os.kill(os.getpid(), signal.SIGTERM)
+            responses = await asyncio.gather(*requests)
+            await asyncio.wait_for(runner, timeout=10)
+            return responses
+
+        responses = asyncio.run(main())
+        assert len(responses) == len(reps)
+        assert all(status == 200 for status, _ in responses)
+        assert all(body["n_selected"] >= 1 for _, body in responses)

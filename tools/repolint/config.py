@@ -32,6 +32,7 @@ class RepolintConfig:
     sync_points: frozenset[str] = frozenset()
     extra_edges: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     hot_functions: frozenset[str] = frozenset()
+    resilience_packages: tuple[str, ...] = ()
 
     @property
     def top_rank(self) -> int:
@@ -56,6 +57,7 @@ class RepolintConfig:
         layers = data.get("layers", {})
         parallel = data.get("parallel", {})
         hotpath = data.get("hotpath", {})
+        resilience = data.get("resilience", {})
         return cls(
             package=str(data.get("package", "repro")),
             src_root=str(data.get("src-root", "src")),
@@ -71,6 +73,9 @@ class RepolintConfig:
                 for src, dsts in dict(parallel.get("extra-edges", {})).items()
             },
             hot_functions=frozenset(str(n) for n in hotpath.get("functions", [])),
+            resilience_packages=tuple(
+                str(n) for n in resilience.get("packages", [])
+            ),
         )
 
 

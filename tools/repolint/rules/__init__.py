@@ -16,6 +16,7 @@ from tools.repolint.rules.parallel import (
     ModuleStateMutationRule,
     RolloutSharedStateRule,
 )
+from tools.repolint.rules.resilience import UnboundedServeIORule
 from tools.repolint.rules.rng import (
     GlobalNumpyRandomRule,
     InlineSeedSequenceRule,
@@ -39,6 +40,7 @@ RULE_CLASSES: list[type[Rule]] = [
     RolloutSharedStateRule,
     ModuleStateMutationRule,
     HotPathAllocationRule,
+    UnboundedServeIORule,
 ]
 
 
@@ -72,6 +74,7 @@ __all__ = [
     "RolloutSharedStateRule",
     "Rule",
     "StdlibRandomRule",
+    "UnboundedServeIORule",
     "UndeclaredLayerRule",
     "UnguardedExpLogRule",
     "UnguardedSumDivisionRule",

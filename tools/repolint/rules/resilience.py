@@ -1,0 +1,113 @@
+"""RES8xx: resilience discipline for packages declared always-bounded.
+
+A serving layer must never block forever on a peer: every socket read,
+write-drain and file access needs an explicit bound (``asyncio.wait_for``,
+a :class:`repro.io.resilience.Deadline`, or delegation to a lower layer
+that owns the bound).  ``[tool.repolint.resilience] packages`` lists the
+dotted packages under that contract — for this repo, ``repro.serve``.
+
+RES801 walks every module in a scoped package and flags
+
+* ``await`` of a raw stream/socket operation (``readline``,
+  ``readexactly``, ``readuntil``, ``read``, ``drain``, ``sendfile``,
+  ``start_tls``) that is not wrapped in a bounding call — a hung client
+  would pin the handler task forever;
+* direct file I/O (``open``, ``Path.read_text`` & friends) — artifact
+  access belongs behind the ``repro.io`` helpers, which checksum and bound
+  it.
+
+The check is syntactic by design: ``await asyncio.wait_for(reader.
+readline(), t)`` awaits *wait_for*, so the inner call never appears as the
+awaited expression and compliant code passes without annotations.  A
+genuinely unbounded await that must stay (e.g. an internal queue) takes a
+``# repolint: disable=RES801`` with a rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.engine import Finding, ProgramContext, ProgramRule
+
+#: Awaitable stream/socket methods that block until the peer acts.
+STREAM_METHODS = frozenset(
+    {"readline", "readexactly", "readuntil", "read", "drain", "sendfile", "start_tls"}
+)
+
+#: Direct file-I/O entry points (``open`` plus the ``pathlib`` shorthands).
+FILE_IO_ATTRS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+
+def _in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+class UnboundedServeIORule(ProgramRule):
+    """RES801: unbounded socket/file I/O in a resilience-scoped package."""
+
+    code = "RES801"
+    name = "unbounded-serve-io"
+    hint = (
+        "wrap the await in asyncio.wait_for(..., timeout) or check a "
+        "repro.io.resilience.Deadline; route file access through the "
+        "repro.io helpers.  If the wait is intentionally unbounded, add "
+        "'# repolint: disable=RES801' with a rationale"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        packages = program.config.resilience_packages
+        if not packages:
+            return
+        for module, file in sorted(program.files.items()):
+            if not _in_packages(module, packages):
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Await):
+                    yield from self._check_await(program, module, node)
+                elif isinstance(node, ast.Call):
+                    yield from self._check_file_io(program, module, node)
+
+    def _check_await(
+        self, program: ProgramContext, module: str, node: ast.Await
+    ) -> Iterator[Finding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in STREAM_METHODS:
+            return
+        yield self.program_finding(
+            program,
+            module,
+            node.lineno,
+            f"direct 'await ....{func.attr}(...)' has no timeout; a hung "
+            "peer pins this task forever",
+        )
+
+    def _check_file_io(
+        self, program: ProgramContext, module: str, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            yield self.program_finding(
+                program,
+                module,
+                node.lineno,
+                "direct open() in a resilience-scoped package; artifact "
+                "access belongs behind the repro.io helpers",
+            )
+        elif isinstance(func, ast.Attribute) and func.attr in FILE_IO_ATTRS:
+            yield self.program_finding(
+                program,
+                module,
+                node.lineno,
+                f"direct '.{func.attr}()' file I/O in a resilience-scoped "
+                "package; artifact access belongs behind the repro.io "
+                "helpers",
+            )
