@@ -1,15 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed typecheck test test-serve test-fault test-chaos serve bench-serve bench-resilience check
+.PHONY: lint lint-changed lint-concurrency typecheck test test-serve test-fault test-chaos test-chaos-tsan serve bench-serve bench-resilience check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
 	$(PYTHON) -m tools.repolint src/
 
-## Fast path: only .py files git reports as modified/untracked.
+## Fast path: only .py files git reports as modified/untracked (SHA-keyed
+## result cache on, so unchanged files replay their findings).
 lint-changed:
 	$(PYTHON) -m tools.repolint --changed src/
+
+## ASYNC9xx rules plus the concurrency certificate (must be clean).
+lint-concurrency:
+	$(PYTHON) -m tools.repolint --select ASYNC901,ASYNC902,ASYNC903,ASYNC904,ASYNC905 src/
+	$(PYTHON) -m tools.repolint report --anchor src --out concurrency-certificate.json
+	$(PYTHON) -c "import json; c = json.load(open('concurrency-certificate.json'))['concurrency_certificate']; assert c['clean'], c['findings']; print('concurrency certificate clean:', len(c['functions']), 'functions')"
 
 ## mypy --strict over the library (no-op with a notice if mypy is absent).
 typecheck:
@@ -36,6 +43,11 @@ test-fault:
 test-chaos:
 	$(PYTHON) -m pytest -x -q -m chaos
 
+## Chaos drills with the runtime thread sanitizer armed process-wide:
+## any cross-context unlocked write observed during a drill fails it.
+test-chaos-tsan:
+	REPRO_TSAN=1 $(PYTHON) -m pytest -x -q -m chaos
+
 ## Run the selection server on a saved model (MODEL=path/to/artifact).
 serve:
 	$(PYTHON) -m repro serve --checkpoint-dir $(MODEL)
@@ -49,4 +61,4 @@ bench-resilience:
 	$(PYTHON) benchmarks/bench_resilience.py
 
 ## Everything CI runs.
-check: lint typecheck test test-fault test-chaos
+check: lint lint-concurrency typecheck test test-fault test-chaos-tsan

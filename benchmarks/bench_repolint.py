@@ -10,6 +10,12 @@ Two numbers guard the two costs this PR's whole-program analysis adds:
   ``env`` binding) touch the hottest loop in the codebase, so throughput
   is recorded to catch regressions.
 
+The ``lint_cache`` section measures the two caching layers on top of the
+cold pass: the shared parse-once :class:`SourceCache` (every rule and the
+program passes reuse one AST per file) and the SHA-keyed
+:class:`ResultCache` warm re-run, with the speedup relative to the cold
+wall time.
+
 Writes ``BENCH_static.json`` at the repo root::
 
     python benchmarks/bench_repolint.py
@@ -56,6 +62,44 @@ def bench_lint() -> dict:
         "findings": len(findings),
         "wall_s": round(wall, 4),
         "files_per_s": round(n_files / wall, 1) if wall else None,
+    }
+
+
+def bench_lint_cache(cold_wall_s: float) -> dict:
+    import tempfile
+
+    from tools.repolint.cache import ResultCache, SourceCache
+
+    source_cache = SourceCache()
+    shared_wall, _ = best_of(
+        3, lambda: analyze_paths(list(LINT_TARGETS), source_cache=SourceCache())
+    )
+    analyze_paths(list(LINT_TARGETS), source_cache=source_cache)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "cache.json"
+        analyze_paths(
+            list(LINT_TARGETS), result_cache=ResultCache(cache_path)
+        )  # populate
+        warm_cache = ResultCache(cache_path)
+        warm_wall, _ = best_of(
+            3,
+            lambda: analyze_paths(
+                list(LINT_TARGETS), result_cache=ResultCache(cache_path)
+            ),
+        )
+        analyze_paths(list(LINT_TARGETS), result_cache=warm_cache)
+
+    return {
+        "shared_parse_wall_s": round(shared_wall, 4),
+        "parses": source_cache.parses,
+        "parse_hits": source_cache.hits,
+        "warm_result_cache_wall_s": round(warm_wall, 4),
+        "result_cache_hits": warm_cache.hits,
+        "result_cache_misses": warm_cache.misses,
+        "warm_speedup_vs_cold": (
+            round(cold_wall_s / warm_wall, 2) if warm_wall else None
+        ),
     }
 
 
@@ -112,9 +156,11 @@ def bench_rollout() -> dict:
 
 
 def main() -> None:
+    lint = bench_lint()
     payload = {
         "generated_by": "benchmarks/bench_repolint.py",
-        "lint": bench_lint(),
+        "lint": lint,
+        "lint_cache": bench_lint_cache(lint["wall_s"]),
         "report": bench_report(),
         "rollout": bench_rollout(),
     }

@@ -1,6 +1,6 @@
 """Analysis layer: runtime contracts and sanctioned numerical primitives.
 
-Two halves of one correctness story:
+Three halves of one correctness story:
 
 * :mod:`repro.analysis.contracts` — env-toggled (``REPRO_CONTRACTS=1``)
   shape/dtype/finiteness assertions enforced at the FEAT↔agent and eval
@@ -8,6 +8,10 @@ Two halves of one correctness story:
 * :mod:`repro.analysis.numerics` — the only module permitted (by the
   ``tools/repolint`` NUM3xx rules) to call raw ``np.exp``/``np.log``/
   sum-normalisation; everything else uses these clamped helpers.
+* :mod:`repro.analysis.tsan` — env-toggled (``REPRO_TSAN=1``) runtime
+  thread sanitizer validating the ASYNC9xx static verdicts: instrumented
+  locks and access probes in the serve layer record cross-context state
+  accesses and the lockset check flags actual races during chaos runs.
 """
 
 from repro.analysis.contracts import (
@@ -31,12 +35,21 @@ from repro.analysis.numerics import (
     stable_sigmoid,
     stable_softmax,
 )
+from repro.analysis.tsan import (
+    TSAN_ENV_VAR,
+    TrackedLock,
+    set_tsan_enabled,
+    tsan_enabled,
+)
+from repro.analysis.tsan import violations as tsan_violations
 
 __all__ = [
     "CONTRACTS_ENV_VAR",
     "ContractViolation",
     "LOG_EPS",
     "MAX_EXP_INPUT",
+    "TSAN_ENV_VAR",
+    "TrackedLock",
     "check_finite",
     "check_probability_vector",
     "check_scalar_range",
@@ -48,6 +61,9 @@ __all__ = [
     "safe_log",
     "safe_xlogy",
     "set_contracts_enabled",
+    "set_tsan_enabled",
     "stable_sigmoid",
     "stable_softmax",
+    "tsan_enabled",
+    "tsan_violations",
 ]

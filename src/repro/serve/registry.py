@@ -24,10 +24,21 @@ serves the first one that passes verification; failures are recorded in
 :meth:`repro.io.checkpoint.CheckpointManager.latest_valid`.
 
 **Hot swap.**  :meth:`refresh` rescans the root; when a version newer than
-the current one validates, the served model is swapped atomically (a
-single attribute rebind — in-flight batches keep the agent object they
-started with).  A corrupt newer version is skipped and the current model
+the current one validates, the served model is swapped atomically: the
+``(model, version)`` pair is published as one tuple under a short-held
+lock, so a reader can never observe the new model with the old version
+label (or vice versa).  In-flight batches keep the agent object they
+started with.  A corrupt newer version is skipped and the current model
 keeps serving.
+
+**Thread safety.**  The server offloads :meth:`refresh` to an executor
+thread so model-file I/O never blocks the event loop; every cross-context
+field (the current pair, the skip history) is therefore guarded by the
+swap lock — a :class:`repro.analysis.tsan.TrackedLock`, so chaos runs
+with ``REPRO_TSAN=1`` verify the locking dynamically.  The lock is held
+only for attribute rebinds and list snapshots, never across file I/O.
+The representation cache is intentionally *not* locked: it is touched
+only by the event-loop thread (repolint's ASYNC902 checks this).
 
 **Representation cache.**  Selection requests arrive as raw task data
 (features + labels); the |Pearson| task representation is the only
@@ -48,6 +59,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis import tsan
+from repro.analysis.tsan import TrackedLock
 from repro.data.stats import pearson_representation
 
 if TYPE_CHECKING:
@@ -102,16 +115,19 @@ class ModelRegistry:
         self.root = Path(root)
         if not self.root.is_dir():
             raise FileNotFoundError(f"registry root {self.root} is not a directory")
-        #: corrupt/unloadable versions seen by :meth:`load`/:meth:`refresh`,
-        #: as ``(path, reason)`` pairs — surfaced for observability.  Bounded
-        #: to the most recent :data:`MAX_SKIP_HISTORY` entries so a long-lived
-        #: server polling a broken publisher cannot grow it without limit.
-        self.skipped: list[tuple[Path, str]] = []
-        #: lifetime count of skipped candidates (never trimmed) — the delta
-        #: between two reads is the circuit breaker's failure signal.
-        self.skips_total = 0
-        self._model: "PAFeat | None" = None
-        self._version: ModelVersion | None = None
+        # Guards every field shared between the event loop and the
+        # executor thread running refresh(); held for rebinds/snapshots
+        # only, never across file I/O.
+        self._swap_lock = TrackedLock("ModelRegistry.swap")
+        # The served (model, version) pair, published atomically as one
+        # tuple so readers never see a torn swap.
+        self._current: "tuple[PAFeat, ModelVersion] | None" = None
+        # Corrupt/unloadable versions seen by load()/refresh() — bounded
+        # to MAX_SKIP_HISTORY so a long-lived server polling a broken
+        # publisher cannot grow it without limit — plus the lifetime
+        # count (never trimmed) whose delta feeds the circuit breaker.
+        self._skips: list[tuple[Path, str]] = []
+        self._skips_total = 0
         self._cache_capacity = representation_cache_size
         self._representations: OrderedDict[str, np.ndarray] = OrderedDict()
         self._cache_hits = 0
@@ -146,7 +162,9 @@ class ModelRegistry:
             loaded = self._try_load(name, path)
             if loaded is not None:
                 return loaded
-        reasons = "; ".join(f"{path.name}: {reason}" for path, reason in self.skipped)
+        reasons = "; ".join(
+            f"{path.name}: {reason}" for path, reason in self.recent_skips()
+        )
         raise RegistryError(
             f"no valid model version under {self.root} ({reasons})"
         )
@@ -159,7 +177,9 @@ class ModelRegistry:
         model keeps serving.  With no model loaded yet this behaves like
         :meth:`load` but returns the swap flag instead of raising.
         """
-        current = self._version.name if self._version is not None else None
+        with self._swap_lock:
+            tsan.note(self, "_current")
+            current = self._current[1].name if self._current is not None else None
         for name, path in reversed(self.candidate_versions()):
             if current is not None and name <= current:
                 break
@@ -174,30 +194,80 @@ class ModelRegistry:
             model = load_model(path)
         except (ValueError, OSError, KeyError) as exc:
             logger.warning("skipping model version %s: %s", path, exc)
-            self.skipped.append((path, str(exc)))
-            self.skips_total += 1
-            del self.skipped[:-MAX_SKIP_HISTORY]
+            with self._swap_lock:
+                tsan.note(self, "_skips", write=True)
+                tsan.note(self, "_skips_total", write=True)
+                self._skips.append((path, str(exc)))
+                self._skips_total += 1
+                del self._skips[:-MAX_SKIP_HISTORY]
             return None
         assert model._n_features is not None
         version = ModelVersion(
             name=name, path=path, n_features=int(model._n_features)
         )
-        self._model = model
-        self._version = version
+        with self._swap_lock:
+            tsan.note(self, "_current", write=True)
+            self._current = (model, version)
         return version
+
+    @property
+    def loaded(self) -> bool:
+        """Whether a model version is currently being served."""
+        with self._swap_lock:
+            tsan.note(self, "_current")
+            return self._current is not None
 
     @property
     def model(self) -> "PAFeat":
         """The currently served model; :meth:`load` must have succeeded."""
-        if self._model is None:
+        with self._swap_lock:
+            tsan.note(self, "_current")
+            current = self._current
+        if current is None:
             raise RegistryError("no model loaded; call load() first")
-        return self._model
+        return current[0]
 
     @property
     def version(self) -> ModelVersion:
-        if self._version is None:
+        with self._swap_lock:
+            tsan.note(self, "_current")
+            current = self._current
+        if current is None:
             raise RegistryError("no model loaded; call load() first")
-        return self._version
+        return current[1]
+
+    def serving(self) -> "tuple[PAFeat, ModelVersion]":
+        """One consistent ``(model, version)`` snapshot — the pair a
+        response should be computed *and* labeled with."""
+        with self._swap_lock:
+            tsan.note(self, "_current")
+            current = self._current
+        if current is None:
+            raise RegistryError("no model loaded; call load() first")
+        return current
+
+    # -- skip history ---------------------------------------------------
+    @property
+    def skipped(self) -> list[tuple[Path, str]]:
+        """Snapshot of the recent skip records (kept for API compat)."""
+        return self.recent_skips()
+
+    @property
+    def skips_total(self) -> int:
+        """Lifetime count of skipped candidates."""
+        return self.skip_count()
+
+    def recent_skips(self) -> list[tuple[Path, str]]:
+        """Copy of the bounded ``(path, reason)`` skip history."""
+        with self._swap_lock:
+            tsan.note(self, "_skips")
+            return list(self._skips)
+
+    def skip_count(self) -> int:
+        """Lifetime skip count, read under the swap lock."""
+        with self._swap_lock:
+            tsan.note(self, "_skips_total")
+            return self._skips_total
 
     # -- representation cache ------------------------------------------
     def representation(

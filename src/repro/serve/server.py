@@ -64,6 +64,7 @@ from typing import Any, Callable, NamedTuple
 
 import numpy as np
 
+from repro.analysis import tsan
 from repro.io.lifecycle import GracefulShutdown
 from repro.io.resilience import (
     BREAKER_CLOSED,
@@ -81,7 +82,7 @@ from repro.serve.batcher import (
 )
 from repro.serve.engine import BatchedGreedyEngine
 from repro.serve.metrics import ServeMetrics
-from repro.serve.registry import ModelRegistry, RegistryError
+from repro.serve.registry import ModelRegistry, ModelVersion, RegistryError
 
 __all__ = ["SelectionServer"]
 
@@ -174,7 +175,13 @@ class SelectionServer:
         self.load_retries = load_retries
         self.metrics = metrics or ServeMetrics()
         self._clock = clock
-        self._engine: BatchedGreedyEngine | None = None
+        # The (engine, version) pair requests are served with, published
+        # as one tuple so a response can never mix the engine of one
+        # model version with the label of another across a hot swap.
+        # Loop-thread-only state: written in start()/_handle_reload(),
+        # read in _select_batch()/_handle_healthz() — no lock needed (the
+        # registry's cross-thread state is what the swap lock guards).
+        self._serving: tuple[BatchedGreedyEngine, ModelVersion] | None = None
         self._batcher: MicroBatcher | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: set["asyncio.Task[None]"] = set()
@@ -201,10 +208,16 @@ class SelectionServer:
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Load the model (with retries), start the batcher, bind the listener."""
+        """Load the model (with retries), start the batcher, bind the listener.
+
+        Startup is the one sanctioned place the event loop may block on
+        model-file I/O (nothing is being served yet); the path is on the
+        ``[tool.repolint.concurrency]`` allow-blocking list.
+        """
         if self._server is not None:
             raise RuntimeError("server is already started")
-        if self.registry._model is None:
+        tsan.register_loop()
+        if not self.registry.loaded:
             retry = Retry(
                 max_attempts=self.load_retries,
                 base_delay_s=0.1,
@@ -217,8 +230,12 @@ class SelectionServer:
                 ),
             )
             retry.call(self.registry.load)
-        self._engine = BatchedGreedyEngine.from_model(
-            self.registry.model, max_batch_size=self.max_batch_size
+        model, version = self.registry.serving()
+        self._serving = (
+            BatchedGreedyEngine.from_model(
+                model, max_batch_size=self.max_batch_size
+            ),
+            version,
         )
         self.metrics.set_cache_stats_provider(self.registry.cache_stats)
         self._batcher = MicroBatcher(
@@ -289,10 +306,22 @@ class SelectionServer:
                 await self.stop()
 
     # -- inference ------------------------------------------------------
-    def _select_batch(self, payloads: list[np.ndarray]) -> list[tuple[int, ...]]:
-        """The micro-batcher's handler: one lockstep engine pass."""
-        assert self._engine is not None
-        return self._engine.select_representations(payloads)
+    def _select_batch(
+        self, payloads: list[np.ndarray]
+    ) -> list[tuple[tuple[int, ...], ModelVersion]]:
+        """The micro-batcher's handler: one lockstep engine pass.
+
+        Reads the ``(engine, version)`` pair exactly once and tags every
+        result with the version that computed it, so the response a
+        request eventually receives can never be labeled with a model
+        version that was hot-swapped in after its batch ran.
+        """
+        assert self._serving is not None
+        engine, version = self._serving
+        return [
+            (subset, version)
+            for subset in engine.select_representations(payloads)
+        ]
 
     # -- HTTP plumbing --------------------------------------------------
     async def _handle_connection(
@@ -375,14 +404,18 @@ class SelectionServer:
         if path == "/select" and method == "POST":
             return await self._handle_select(raw)
         if path == "/reload" and method == "POST":
-            return self._handle_reload()
+            return await self._handle_reload()
         if path in ("/select", "/reload", "/healthz", "/metrics"):
             return _json_response(405, {"error": f"{method} not allowed on {path}"})
         return _json_response(404, {"error": f"unknown path {path}"})
 
     # -- endpoints ------------------------------------------------------
     def _handle_healthz(self) -> _Response:
-        version = self.registry.version
+        # Report the version requests are actually served with (the
+        # snapshot _select_batch reads), not the registry's — during a
+        # reload the two can briefly differ.
+        serving = self._serving
+        version = serving[1] if serving is not None else self.registry.version
         batcher_alive = self._batcher is not None and self._batcher.running
         breaker_state = self._reload_breaker.state
         if not batcher_alive:
@@ -402,7 +435,16 @@ class SelectionServer:
             },
         )
 
-    def _handle_reload(self) -> _Response:
+    async def _handle_reload(self) -> _Response:
+        """Rescan the registry and hot-swap off the event loop.
+
+        The rescan does model-file I/O (manifest reads, checksum passes,
+        ``np.load``), so it runs in the default executor — requests keep
+        flowing on the loop while it works; the registry's swap lock
+        makes the executor-side publication safe.  The engine rebind back
+        on the loop publishes one ``(engine, version)`` tuple, so batch
+        flushes interleaved with the reload stay version-consistent.
+        """
         if not self._reload_breaker.allow():
             return _json_response(
                 503,
@@ -415,9 +457,10 @@ class SelectionServer:
                     _retry_after_header(self._reload_breaker.reset_timeout_s),
                 ),
             )
-        skips_before = self.registry.skips_total
+        skips_before = self.registry.skip_count()
+        loop = asyncio.get_running_loop()
         try:
-            swapped = self.registry.refresh()
+            swapped = await loop.run_in_executor(None, self.registry.refresh)
         except Exception as exc:
             self._reload_breaker.record_failure()
             self.metrics.observe_error()
@@ -429,17 +472,21 @@ class SelectionServer:
                     "model_version": self.registry.version.name,
                 },
             )
-        if self.registry.skips_total > skips_before:
+        if self.registry.skip_count() > skips_before:
             # A published candidate failed verification: a corruption
             # signal even when an older last-good version keeps serving.
             self._reload_breaker.record_failure()
         else:
             self._reload_breaker.record_success()
         if swapped:
-            # Rebind the engine to the new agent; the single-threaded event
-            # loop makes the swap atomic w.r.t. batch flushes.
-            self._engine = BatchedGreedyEngine.from_model(
-                self.registry.model, max_batch_size=self.max_batch_size
+            # One consistent snapshot, one atomic rebind: batches flushed
+            # after this line run — and are labeled with — the new pair.
+            model, version = self.registry.serving()
+            self._serving = (
+                BatchedGreedyEngine.from_model(
+                    model, max_batch_size=self.max_batch_size
+                ),
+                version,
             )
         return _json_response(
             200,
@@ -449,7 +496,7 @@ class SelectionServer:
                 "breaker": self._reload_breaker.state,
                 "skipped": [
                     {"path": str(path), "reason": reason}
-                    for path, reason in self.registry.skipped
+                    for path, reason in self.registry.recent_skips()
                 ],
             },
         )
@@ -474,12 +521,12 @@ class SelectionServer:
                 # Hard server-side bound even if the request never reaches
                 # a gather point (e.g. the flush loop is wedged): the
                 # batcher's own expiry checks normally fire first.
-                subset = await asyncio.wait_for(
+                subset, version = await asyncio.wait_for(
                     self._batcher.submit(representation, deadline=deadline),
                     deadline.remaining() + 0.05,
                 )
             else:
-                subset = await self._batcher.submit(representation)
+                subset, version = await self._batcher.submit(representation)
         except QueueFull as exc:
             return _json_response(
                 429,
@@ -499,13 +546,17 @@ class SelectionServer:
         except BatcherClosed:
             return _json_response(503, {"error": "server is draining"})
         latency_ms = (self._clock() - start) * 1000.0
+        # `version` rode along with the subset from _select_batch: it is
+        # the version whose engine computed this result, not whatever the
+        # registry holds now — a reload during the await cannot mislabel
+        # the response (the TOCTOU repolint's ASYNC904 exists to catch).
         return _json_response(
             200,
             {
                 "subset": [int(i) for i in subset],
                 "n_selected": len(subset),
-                "n_features": self.registry.version.n_features,
-                "model_version": self.registry.version.name,
+                "n_features": version.n_features,
+                "model_version": version.name,
                 "latency_ms": round(latency_ms, 3),
             },
         )

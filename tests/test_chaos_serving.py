@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from repro.analysis import tsan
 from repro.data.stats import pearson_representation
 from repro.io import save_model
 from repro.io.faults import (
@@ -37,6 +38,23 @@ pytestmark = pytest.mark.chaos
 
 #: The self-healing budget from the acceptance criteria.
 RECOVERY_BUDGET_S = 5.0
+
+
+@pytest.fixture(autouse=True)
+def thread_sanitizer():
+    """Every chaos drill runs with the runtime sanitizer armed.
+
+    CI additionally sets ``REPRO_TSAN=1`` for the whole process; arming it
+    here too means local runs get the same lockset verdicts.  Any
+    cross-context unlocked write observed during the drill fails the test.
+    """
+    previous = tsan.set_tsan_enabled(True)
+    tsan.reset()
+    yield
+    found = tsan.violations()
+    tsan.reset()
+    tsan.set_tsan_enabled(previous)
+    assert found == [], "tsan: " + "; ".join(v.describe() for v in found)
 
 
 @pytest.fixture(scope="module")

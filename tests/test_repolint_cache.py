@@ -1,0 +1,190 @@
+"""Parse-once source cache, SHA-keyed result cache, file-level suppression.
+
+The performance satellite's correctness story: a shared parse must not
+change any verdict, a stale or corrupt result cache must only ever cost a
+recompute, and ``# repolint: disable-file=CODE`` must silence exactly the
+named rules — never its neighbours.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.repolint.cache import ResultCache, SourceCache, content_sha
+from tools.repolint.engine import (
+    analyze_paths,
+    analyze_source,
+    file_suppressed_codes,
+)
+
+DIRTY = "import random\nrandom.seed(0)\n"
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def write_module(tmp_path: Path, name: str, source: str) -> Path:
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# SourceCache
+# ---------------------------------------------------------------------------
+
+def test_source_cache_parses_each_file_once(tmp_path):
+    target = write_module(tmp_path, "mod.py", "X = 1\n")
+    cache = SourceCache()
+    first = cache.parse(target)
+    second = cache.parse(target)
+    assert first is second
+    assert cache.parses == 1
+    assert cache.hits == 1
+    assert first.sha == content_sha("X = 1\n")
+
+
+def test_analyze_paths_shares_one_parse_per_file(tmp_path):
+    targets = [
+        write_module(tmp_path, "a.py", "A = 1\n"),
+        write_module(tmp_path, "b.py", "B = 2\n"),
+    ]
+    cache = SourceCache()
+    analyze_paths(targets, source_cache=cache)
+    assert cache.parses == 2  # one parse per file, however many rules ran
+
+
+def test_cached_analysis_matches_uncached(tmp_path):
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    plain = analyze_paths([target])
+    shared = analyze_paths([target], source_cache=SourceCache())
+    assert [(f.code, f.line) for f in plain] == [
+        (f.code, f.line) for f in shared
+    ]
+    assert plain  # the snippet is not clean
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+def test_result_cache_replays_findings_on_sha_hit(tmp_path):
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    cache_path = tmp_path / "cache.json"
+
+    first_cache = ResultCache(cache_path)
+    first = analyze_paths([target], result_cache=first_cache)
+    assert first_cache.misses == 1 and first_cache.hits == 0
+    assert cache_path.exists()
+
+    second_cache = ResultCache(cache_path)
+    second = analyze_paths([target], result_cache=second_cache)
+    assert second_cache.hits == 1 and second_cache.misses == 0
+    assert [(f.code, f.line, f.message) for f in first] == [
+        (f.code, f.line, f.message) for f in second
+    ]
+
+
+def test_result_cache_misses_when_content_changes(tmp_path):
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    cache_path = tmp_path / "cache.json"
+    analyze_paths([target], result_cache=ResultCache(cache_path))
+
+    target.write_text(DIRTY + "Y = 1\n", encoding="utf-8")
+    cache = ResultCache(cache_path)
+    findings = analyze_paths([target], result_cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+    assert findings  # recomputed, still dirty
+
+
+def test_clean_files_cache_their_emptiness(tmp_path):
+    target = write_module(tmp_path, "mod.py", "X = 1\n")
+    cache_path = tmp_path / "cache.json"
+    analyze_paths([target], result_cache=ResultCache(cache_path))
+
+    cache = ResultCache(cache_path)
+    findings = analyze_paths([target], result_cache=cache)
+    assert cache.hits == 1
+    assert findings == []
+
+
+def test_corrupt_cache_file_is_treated_as_empty(tmp_path):
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json", encoding="utf-8")
+    cache = ResultCache(cache_path)
+    findings = analyze_paths([target], result_cache=cache)
+    assert findings
+    assert cache.misses == 1
+    # And the save overwrote the corruption with a valid cache.
+    replay = ResultCache(cache_path)
+    assert analyze_paths([target], result_cache=replay)
+    assert replay.hits == 1
+
+
+def test_cached_findings_are_stored_post_suppression(tmp_path):
+    target = write_module(
+        tmp_path, "mod.py", "import random\nrandom.seed(0)  # repolint: disable=RNG102\n"
+    )
+    cache_path = tmp_path / "cache.json"
+    first = analyze_paths([target], result_cache=ResultCache(cache_path))
+    assert "RNG102" not in codes(first)
+    cache = ResultCache(cache_path)
+    second = analyze_paths([target], result_cache=cache)
+    assert cache.hits == 1
+    assert "RNG102" not in codes(second)
+
+
+# ---------------------------------------------------------------------------
+# File-level suppression
+# ---------------------------------------------------------------------------
+
+def test_file_suppressed_codes_parses_the_pragma():
+    lines = [
+        "'''docstring'''",
+        "# repolint: disable-file=RNG102, PAR602",
+        "X = 1",
+    ]
+    assert file_suppressed_codes(lines) == {"RNG102", "PAR602"}
+    assert file_suppressed_codes(["X = 1"]) == set()
+
+
+def test_disable_file_silences_only_the_named_rule():
+    source = (
+        "# repolint: disable-file=RNG102\n"
+        "import random\n"
+        "import numpy as np\n"
+        "random.seed(0)\n"
+        "def f(x):\n"
+        "    return np.exp(x) / np.sum(np.exp(x))\n"
+    )
+    suppressed = analyze_source(source, Path("pkg/mod.py"))
+    assert "RNG102" not in codes(suppressed)
+    # The numerically unsafe softmax still fires: disable-file is per-rule.
+    assert any(code.startswith("NUM") for code in codes(suppressed))
+
+    unsuppressed = analyze_source(
+        source.replace("# repolint: disable-file=RNG102\n", ""),
+        Path("pkg/mod.py"),
+    )
+    assert "RNG102" in codes(unsuppressed)
+
+
+def test_disable_file_all_silences_everything():
+    source = (
+        "# repolint: disable-file=all\n"
+        "import random\n"
+        "random.seed(0)\n"
+    )
+    assert analyze_source(source, Path("pkg/mod.py")) == []
+
+
+def test_per_line_disable_does_not_match_disable_file():
+    # The old per-line syntax must not accidentally suppress the file.
+    source = (
+        "import random\n"
+        "# repolint: disable=RNG102\n"
+        "random.seed(0)\n"
+    )
+    assert "RNG102" in codes(analyze_source(source, Path("pkg/mod.py")))

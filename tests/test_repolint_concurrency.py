@@ -1,0 +1,423 @@
+"""ASYNC9xx concurrency rules: contexts, locksets, TOCTOU, orphans.
+
+Snippet tests build hermetic multi-module programs exactly like the other
+program-rule suites (``analyze_source(..., config=..., extra_sources=...)``
+/ ``ProgramContext.from_sources``); the suite closes with the real-repo
+gate — the serve stack's concurrency certificate must be clean, which is
+the invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.repolint import RepolintConfig, analyze_source, build_program
+from tools.repolint.engine import ProgramContext
+from tools.repolint.graphs.concurrency import build_concurrency_index
+from tools.repolint.report import build_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def conc_config(**overrides) -> RepolintConfig:
+    defaults = dict(package="pkg")
+    defaults.update(overrides)
+    return RepolintConfig(**defaults)
+
+
+def serve_findings(source: str, config: RepolintConfig | None = None, **extra):
+    return analyze_source(
+        source,
+        Path("pkg/serve.py"),
+        module="pkg.serve",
+        config=config or conc_config(),
+        extra_sources=extra or None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Context propagation
+# ---------------------------------------------------------------------------
+
+def test_loop_context_reaches_sync_callees():
+    program = ProgramContext.from_sources(
+        {
+            "pkg.serve": (
+                "async def handle():\n"
+                "    helper()\n"
+                "def helper():\n"
+                "    pass\n"
+            )
+        },
+        conc_config(),
+    )
+    concurrency = program.concurrency
+    assert "loop" in concurrency.contexts["pkg.serve.helper"]
+    assert concurrency.loop_root["pkg.serve.helper"] == "pkg.serve.handle"
+
+
+def test_thread_target_gets_thread_context():
+    program = ProgramContext.from_sources(
+        {
+            "pkg.serve": (
+                "import threading\n"
+                "def worker():\n"
+                "    inner()\n"
+                "def inner():\n"
+                "    pass\n"
+                "def spawn():\n"
+                "    t = threading.Thread(target=worker)\n"
+                "    t.start()\n"
+                "    return t\n"
+            )
+        },
+        conc_config(),
+    )
+    concurrency = program.concurrency
+    assert "thread" in concurrency.contexts["pkg.serve.worker"]
+    assert "thread" in concurrency.contexts["pkg.serve.inner"]
+    assert "thread" not in concurrency.contexts["pkg.serve.spawn"]
+
+
+def test_run_in_executor_target_gets_executor_context():
+    program = ProgramContext.from_sources(
+        {
+            "pkg.serve": (
+                "import asyncio\n"
+                "def refresh():\n"
+                "    pass\n"
+                "async def reload():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, refresh)\n"
+            )
+        },
+        conc_config(),
+    )
+    concurrency = program.concurrency
+    assert "executor" in concurrency.contexts["pkg.serve.refresh"]
+
+
+# ---------------------------------------------------------------------------
+# ASYNC901 — blocking call on the event loop
+# ---------------------------------------------------------------------------
+
+def test_async901_flags_time_sleep_in_coroutine():
+    findings = serve_findings(
+        "import time\n"
+        "async def handle():\n"
+        "    time.sleep(1)\n"
+    )
+    assert "ASYNC901" in codes(findings)
+
+
+def test_async901_flags_blocking_in_sync_callee_of_coroutine():
+    findings = serve_findings(
+        "async def handle():\n"
+        "    load()\n"
+        "def load():\n"
+        "    return open('model.json').read()\n"
+    )
+    flagged = [f for f in findings if f.code == "ASYNC901"]
+    assert flagged
+    assert "pkg.serve.handle" in flagged[0].message
+
+
+def test_async901_allow_blocking_exempts_subtree():
+    source = (
+        "async def start():\n"
+        "    load()\n"
+        "def load():\n"
+        "    return open('model.json').read()\n"
+    )
+    assert "ASYNC901" in codes(serve_findings(source))
+    sanctioned = serve_findings(
+        source,
+        config=conc_config(allow_blocking=frozenset({"pkg.serve.start"})),
+    )
+    assert "ASYNC901" not in codes(sanctioned)
+
+
+def test_async901_executor_offload_is_clean():
+    findings = serve_findings(
+        "import asyncio\n"
+        "def load():\n"
+        "    return open('model.json').read()\n"
+        "async def handle():\n"
+        "    loop = asyncio.get_running_loop()\n"
+        "    await loop.run_in_executor(None, load)\n"
+    )
+    assert "ASYNC901" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# ASYNC902 — unlocked cross-context shared state
+# ---------------------------------------------------------------------------
+
+CROSS_CONTEXT_CLASS = (
+    "import threading\n"
+    "class Registry:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.current = None\n"
+    "    def swap(self):\n"
+    "        self.current = object()\n"
+    "    def spawn(self):\n"
+    "        t = threading.Thread(target=self.swap)\n"
+    "        t.start()\n"
+    "        return t\n"
+    "    async def read(self):\n"
+    "        return self.current\n"
+)
+
+
+def test_async902_flags_unlocked_cross_context_write():
+    findings = serve_findings(CROSS_CONTEXT_CLASS)
+    flagged = [f for f in findings if f.code == "ASYNC902"]
+    assert flagged
+    assert "Registry.current" in flagged[0].message
+
+
+def test_async902_common_lock_is_clean():
+    findings = serve_findings(
+        "import threading\n"
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.current = None\n"
+        "    def swap(self):\n"
+        "        with self._lock:\n"
+        "            self.current = object()\n"
+        "    def spawn(self):\n"
+        "        t = threading.Thread(target=self.swap)\n"
+        "        t.start()\n"
+        "        return t\n"
+        "    async def read(self):\n"
+        "        with self._lock:\n"
+        "            return self.current\n"
+    )
+    assert "ASYNC902" not in codes(findings)
+
+
+def test_async902_sync_point_key_sanctions_state():
+    findings = serve_findings(
+        CROSS_CONTEXT_CLASS,
+        config=conc_config(
+            concurrency_sync_points=frozenset({"pkg.serve.Registry.current"})
+        ),
+    )
+    assert "ASYNC902" not in codes(findings)
+
+
+def test_async902_single_context_is_clean():
+    findings = serve_findings(
+        "class Batcher:\n"
+        "    def __init__(self):\n"
+        "        self.queue = []\n"
+        "    async def submit(self, item):\n"
+        "        self.queue.append(item)\n"
+        "    async def flush(self):\n"
+        "        self.queue = []\n"
+    )
+    assert "ASYNC902" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# ASYNC903 — await under a synchronous lock
+# ---------------------------------------------------------------------------
+
+def test_async903_flags_await_inside_sync_lock():
+    findings = serve_findings(
+        "import asyncio\n"
+        "import threading\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    async def handle(self):\n"
+        "        with self._lock:\n"
+        "            await asyncio.sleep(0)\n"
+    )
+    assert "ASYNC903" in codes(findings)
+
+
+def test_async903_async_lock_region_is_clean():
+    findings = serve_findings(
+        "import asyncio\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._lock = asyncio.Lock()\n"
+        "    async def handle(self):\n"
+        "        async with self._lock:\n"
+        "            await asyncio.sleep(0)\n"
+    )
+    assert "ASYNC903" not in codes(findings)
+
+
+def test_async903_await_outside_region_is_clean():
+    findings = serve_findings(
+        "import asyncio\n"
+        "import threading\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.n = 0\n"
+        "    async def handle(self):\n"
+        "        with self._lock:\n"
+        "            self.n += 1\n"
+        "        await asyncio.sleep(0)\n"
+    )
+    assert "ASYNC903" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# ASYNC904 — TOCTOU across an await
+# ---------------------------------------------------------------------------
+
+TOCTOU_CLASS = (
+    "import asyncio\n"
+    "class Batcher:\n"
+    "    def __init__(self):\n"
+    "        self.pending = 0\n"
+    "    async def drain(self):\n"
+    "        before = self.pending\n"
+    "        await asyncio.sleep(0)\n"
+    "        self.pending = before - 1\n"
+    "    async def submit(self):\n"
+    "        self.pending += 1\n"
+)
+
+
+def test_async904_flags_read_await_write():
+    findings = serve_findings(TOCTOU_CLASS)
+    flagged = [f for f in findings if f.code == "ASYNC904"]
+    assert flagged
+    assert "self.pending" in flagged[0].message
+
+
+def test_async904_sync_point_function_is_sanctioned():
+    findings = serve_findings(
+        TOCTOU_CLASS,
+        config=conc_config(
+            concurrency_sync_points=frozenset({"pkg.serve.Batcher.drain"})
+        ),
+    )
+    assert "ASYNC904" not in codes(findings)
+
+
+def test_async904_needs_a_competing_writer():
+    findings = serve_findings(
+        "import asyncio\n"
+        "class Batcher:\n"
+        "    def __init__(self):\n"
+        "        self.pending = 0\n"
+        "    async def drain(self):\n"
+        "        before = self.pending\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.pending = before - 1\n"
+    )
+    assert "ASYNC904" not in codes(findings)
+
+
+def test_async904_no_await_between_read_and_write_is_clean():
+    findings = serve_findings(
+        "import asyncio\n"
+        "class Batcher:\n"
+        "    def __init__(self):\n"
+        "        self.pending = 0\n"
+        "    async def drain(self):\n"
+        "        self.pending = self.pending - 1\n"
+        "        await asyncio.sleep(0)\n"
+        "    async def submit(self):\n"
+        "        self.pending += 1\n"
+    )
+    assert "ASYNC904" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# ASYNC905 — orphaned tasks and threads
+# ---------------------------------------------------------------------------
+
+def test_async905_flags_discarded_create_task():
+    findings = serve_findings(
+        "import asyncio\n"
+        "async def work():\n"
+        "    pass\n"
+        "async def fire():\n"
+        "    asyncio.create_task(work())\n"
+    )
+    assert "ASYNC905" in codes(findings)
+
+
+def test_async905_flags_chained_thread_start():
+    findings = serve_findings(
+        "import threading\n"
+        "def work():\n"
+        "    pass\n"
+        "def fire():\n"
+        "    threading.Thread(target=work).start()\n"
+    )
+    assert "ASYNC905" in codes(findings)
+
+
+def test_async905_retained_handle_is_clean():
+    findings = serve_findings(
+        "import asyncio\n"
+        "class Batcher:\n"
+        "    async def work(self):\n"
+        "        pass\n"
+        "    async def start(self):\n"
+        "        self._task = asyncio.create_task(self.work())\n"
+    )
+    assert "ASYNC905" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# The real repository: certificate gate
+# ---------------------------------------------------------------------------
+
+def test_repo_concurrency_certificate_is_clean():
+    program = build_program(REPO_ROOT / "src")
+    assert program is not None
+    certificate = build_report(program)["concurrency_certificate"]
+    assert certificate["clean"], certificate["findings"]
+    assert certificate["findings"] == []
+
+
+def test_repo_certificate_covers_serve_entry_points():
+    program = build_program(REPO_ROOT / "src")
+    assert program is not None
+    certificate = build_report(program)["concurrency_certificate"]
+    functions = certificate["functions"]
+    for entry in (
+        "repro.serve.server.SelectionServer._handle_select",
+        "repro.serve.server.SelectionServer._handle_reload",
+        "repro.serve.batcher.MicroBatcher._run",
+        "repro.serve.registry.ModelRegistry._try_load",
+    ):
+        assert entry in functions, entry
+    # The reload path actually crosses into the executor.
+    assert "executor" in functions[
+        "repro.serve.registry.ModelRegistry._try_load"
+    ]["contexts"]
+    # The shared-state table lists the registry's published pair.
+    states = {row["state"]: row for row in certificate["shared_state"]}
+    current = states["repro.serve.registry.ModelRegistry._current"]
+    assert current["common_locks"], current
+
+
+def test_repo_concurrency_index_marks_registry_lock_regions():
+    program = build_program(REPO_ROOT / "src")
+    assert program is not None
+    concurrency = build_concurrency_index(
+        program.call_graph.index, program.call_graph, program.config
+    )
+    info = concurrency.functions[
+        "repro.serve.registry.ModelRegistry._try_load"
+    ]
+    assert any(
+        region.lock == "self._swap_lock" and region.kind == "sync"
+        for region in info.lock_regions
+    )

@@ -1,0 +1,159 @@
+"""SARIF 2.1.0 output shape: what GitHub code scanning actually consumes.
+
+Locks down the subset of the spec the ``upload-sarif`` action relies on —
+``ruleId`` matching a driver rule, ``level``, a ``physicalLocation`` with
+1-based ``startLine``/``startColumn`` — for per-file rules, program rules
+and the ASYNC9xx concurrency family, plus the end-to-end ``--format
+sarif`` CLI path.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.repolint import RepolintConfig, analyze_source
+from tools.repolint.engine import Finding
+from tools.repolint.rules import rule_catalog
+from tools.repolint.sarif import SARIF_SCHEMA, SARIF_VERSION, findings_to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def sarif_for(findings) -> dict:
+    return findings_to_sarif(findings, rule_catalog())
+
+
+def only_result(log: dict) -> dict:
+    results = log["runs"][0]["results"]
+    assert len(results) == 1
+    return results[0]
+
+
+def test_log_envelope_is_sarif_2_1_0():
+    log = sarif_for([])
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    assert len(log["runs"]) == 1
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repolint"
+    assert driver["rules"]
+
+
+def test_every_result_rule_id_resolves_in_the_driver_table():
+    findings = analyze_source(
+        "import random\nrandom.seed(0)\n", Path("pkg/mod.py")
+    )
+    assert findings  # RNG discipline fires on the snippet
+    log = sarif_for(findings)
+    known = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    for result in log["runs"][0]["results"]:
+        assert result["ruleId"] in known
+
+
+def test_result_shape_for_per_file_finding():
+    findings = analyze_source(
+        "import random\nrandom.seed(0)\n", Path("pkg/mod.py")
+    )
+    log = sarif_for(findings)
+    for result in log["runs"][0]["results"]:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("pkg/mod.py")
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_async9xx_program_finding_round_trips():
+    findings = analyze_source(
+        "import time\nasync def handle():\n    time.sleep(1)\n",
+        Path("pkg/serve.py"),
+        module="pkg.serve",
+        config=RepolintConfig(package="pkg"),
+    )
+    flagged = [f for f in findings if f.code == "ASYNC901"]
+    assert flagged
+    log = sarif_for(flagged)
+    result = only_result(log)
+    assert result["ruleId"] == "ASYNC901"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 3  # the time.sleep line, 1-based
+    known = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert "ASYNC901" in known
+
+
+def test_catalog_lists_the_concurrency_family():
+    codes = {code for code, _, _ in rule_catalog()}
+    assert {
+        "ASYNC901",
+        "ASYNC902",
+        "ASYNC903",
+        "ASYNC904",
+        "ASYNC905",
+    } <= codes
+
+
+def test_unknown_rule_code_is_appended_to_the_table():
+    finding = Finding(
+        path="pkg/mod.py",
+        line=1,
+        col=1,
+        code="ZZZ999",
+        message="synthetic",
+        hint="",
+    )
+    log = findings_to_sarif([finding], rule_catalog())
+    known = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert "ZZZ999" in known
+
+
+def test_hint_is_folded_into_the_message():
+    finding = Finding(
+        path="pkg/mod.py",
+        line=2,
+        col=3,
+        code="ZZZ999",
+        message="synthetic",
+        hint="do the thing",
+    )
+    result = only_result(findings_to_sarif([finding], rule_catalog()))
+    assert result["message"]["text"] == "synthetic (hint: do the thing)"
+
+
+def test_zero_line_findings_are_clamped_to_one():
+    finding = Finding(
+        path="pkg/mod.py", line=0, col=0, code="ZZZ999", message="m", hint=""
+    )
+    region = only_result(findings_to_sarif([finding], rule_catalog()))[
+        "locations"
+    ][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+    assert region["startColumn"] == 1
+
+
+def test_cli_format_sarif_emits_a_parseable_log(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import random\nrandom.seed(0)\n", encoding="utf-8")
+    out = tmp_path / "findings.sarif"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repolint",
+            str(target),
+            "--format",
+            "sarif",
+            "--output",
+            str(out),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 1  # findings present
+    log = json.loads(out.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"]

@@ -155,3 +155,106 @@ class TestTaskFingerprint:
         assert task_fingerprint(features.astype(np.float32), labels) != base
         assert task_fingerprint(features.reshape(4, 8), labels) != base
         assert task_fingerprint(features, np.zeros(8)) != base
+
+
+class TestThreadSafety:
+    """Regressions for the cross-context hazards repolint's ASYNC9xx found.
+
+    The server offloads ``refresh`` to an executor thread, so the
+    registry's published pair and skip history are shared between the
+    event loop and that thread.  These drills hammer the swap from real
+    threads with the runtime sanitizer armed: a torn ``(model, version)``
+    pair, a lost skip record or an unlocked cross-context access all fail.
+    """
+
+    def test_serving_returns_one_consistent_pair(self, model_artifact, tmp_path):
+        import threading
+
+        from repro.analysis import tsan
+
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        registry = ModelRegistry(root)
+        registry.load()
+
+        previous = tsan.set_tsan_enabled(True)
+        tsan.reset()
+        tsan.register_loop()  # main thread plays the event loop
+        try:
+            stop = threading.Event()
+
+            def churn():
+                n = 2
+                while not stop.is_set():
+                    shutil.copytree(model_artifact, root / f"v{n:04d}")
+                    registry.refresh()
+                    n += 1
+
+            swapper = threading.Thread(target=churn)
+            swapper.start()
+            try:
+                for _ in range(200):
+                    model, version = registry.serving()
+                    # The pair is consistent: the version's feature count
+                    # matches the model it was published with.
+                    assert version.n_features == int(model._n_features)
+                    assert registry.loaded
+            finally:
+                stop.set()
+                swapper.join()
+            found = tsan.violations()
+            assert found == [], "; ".join(v.describe() for v in found)
+        finally:
+            tsan.reset()
+            tsan.set_tsan_enabled(previous)
+
+    def test_concurrent_skip_recording_loses_nothing(self, model_artifact, tmp_path):
+        import threading
+
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        registry = ModelRegistry(root)
+        registry.load()
+        bad = []
+        for n in range(2, 6):
+            candidate = root / f"v{n:04d}"
+            shutil.copytree(model_artifact, candidate)
+            corrupt_weights(candidate)
+            bad.append(candidate)
+
+        threads = [
+            threading.Thread(target=registry.refresh) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every corrupt candidate was recorded by *some* thread, the
+        # lifetime counter agrees, and the served version never moved.
+        assert registry.skip_count() >= len(bad)
+        assert registry.version.name == "v0001"
+
+    def test_skip_history_stays_bounded_under_concurrency(
+        self, model_artifact, tmp_path
+    ):
+        import threading
+
+        from repro.serve.registry import MAX_SKIP_HISTORY
+
+        registry = ModelRegistry(tmp_path)
+        exercised = threading.Barrier(4)
+
+        def hammer():
+            exercised.wait()
+            for n in range(40):
+                registry._try_load("vX", tmp_path / f"missing-{n}")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.skip_count() == 160
+        assert len(registry.recent_skips()) == MAX_SKIP_HISTORY

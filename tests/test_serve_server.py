@@ -570,3 +570,90 @@ class TestLifecycle:
         assert len(responses) == len(reps)
         assert all(status == 200 for status, _ in responses)
         assert all(body["n_selected"] >= 1 for _, body in responses)
+
+
+class TestReloadConcurrency:
+    """Regressions for the event-loop hazards the ASYNC9xx pass found.
+
+    The original ``/reload`` ran model-file I/O synchronously on the event
+    loop, and ``/select`` read the registry's version *after* awaiting the
+    batch — so a reload landing mid-request could label a response with a
+    version that never computed it.  Both fixes are pinned here.
+    """
+
+    def test_select_version_matches_the_model_that_computed_it(
+        self, model_artifact, tiny_split, tmp_path
+    ):
+        train, _ = tiny_split
+        task = train.unseen_tasks[0]
+        rep = pearson_representation(task.features, task.labels).tolist()
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+
+        async def scenario(server, host, port):
+            real = server._select_batch
+
+            def swap_after_compute(payloads):
+                results = real(payloads)
+                # A reload lands between the batch computation and the
+                # response write: publish v0002 and swap the registry.
+                if not (root / "v0002").exists():
+                    shutil.copytree(model_artifact, root / "v0002")
+                    server.registry.refresh()
+                return results
+
+            server._batcher._handler = swap_after_compute
+            return await http(
+                host, port, "POST", "/select", payload={"representation": rep}
+            )
+
+        status, body = run_with_server(ModelRegistry(root), scenario)
+        assert status == 200
+        # The response is labeled with the version that computed it — not
+        # whatever the registry points at by the time the reply is written.
+        assert body["model_version"] == "v0001"
+
+    def test_slow_reload_does_not_stall_the_event_loop(
+        self, model_artifact, tmp_path
+    ):
+        import time
+
+        root = tmp_path / "versions"
+        root.mkdir()
+        shutil.copytree(model_artifact, root / "v0001")
+        registry = ModelRegistry(root)
+        real_refresh = registry.refresh
+
+        def slow_refresh():
+            time.sleep(0.5)  # disk stall during the rescan
+            return real_refresh()
+
+        registry.refresh = slow_refresh
+
+        async def scenario(server, host, port):
+            reload_task = asyncio.create_task(
+                http(host, port, "POST", "/reload")
+            )
+            await asyncio.sleep(0.1)  # the slow reload is now in flight
+            start = asyncio.get_running_loop().time()
+            health_status, health = await http(host, port, "GET", "/healthz")
+            elapsed = asyncio.get_running_loop().time() - start
+            reload_status, _ = await reload_task
+            return health_status, health, elapsed, reload_status
+
+        health_status, health, elapsed, reload_status = run_with_server(
+            registry, scenario
+        )
+        assert health_status == 200 and health["status"] == "ok"
+        assert reload_status == 200
+        # The loop answered healthz while the 0.5 s reload was running.
+        assert elapsed < 0.4, f"healthz stalled {elapsed:.3f}s behind reload"
+
+    def test_healthz_reports_the_served_pair(self, model_artifact):
+        async def scenario(server, host, port):
+            return await http(host, port, "GET", "/healthz")
+
+        status, body = run_with_server(ModelRegistry(model_artifact), scenario)
+        assert status == 200
+        assert body["model_version"] == "model"

@@ -1,0 +1,178 @@
+"""Runtime thread sanitizer: recording, locksets, violations, gating.
+
+The static ASYNC9xx pass is tested in ``test_repolint_concurrency``; this
+suite exercises its dynamic twin — the ``REPRO_TSAN`` recorder the chaos
+suite arms.  Every test restores the sanitizer's process-global state so
+the rest of the run is unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import tsan
+from repro.analysis.tsan import TrackedLock
+
+
+@pytest.fixture
+def armed():
+    """Sanitizer on, state empty; restored afterwards."""
+    previous = tsan.set_tsan_enabled(True)
+    tsan.reset()
+    yield
+    tsan.reset()
+    tsan.set_tsan_enabled(previous)
+
+
+def in_thread(fn) -> None:
+    thread = threading.Thread(target=fn)
+    thread.start()
+    thread.join()
+
+
+class Owner:
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Gating
+# ---------------------------------------------------------------------------
+
+def test_disabled_sanitizer_records_nothing():
+    previous = tsan.set_tsan_enabled(False)
+    tsan.reset()
+    try:
+        owner = Owner()
+        tsan.note(owner, "attr", write=True)
+        tsan.register_loop()
+        assert tsan.violations() == []
+    finally:
+        tsan.set_tsan_enabled(previous)
+
+
+def test_set_tsan_enabled_returns_previous_value():
+    previous = tsan.set_tsan_enabled(True)
+    try:
+        assert tsan.set_tsan_enabled(previous) is True
+    finally:
+        tsan.set_tsan_enabled(previous)
+
+
+def test_tracked_lock_is_a_real_lock_when_disabled():
+    lock = TrackedLock("test")
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+
+
+# ---------------------------------------------------------------------------
+# Violation detection
+# ---------------------------------------------------------------------------
+
+def test_cross_context_unlocked_write_is_a_violation(armed):
+    owner = Owner()
+    tsan.register_loop()
+    tsan.note(owner, "current")
+    in_thread(lambda: tsan.note(owner, "current", write=True))
+    found = tsan.violations()
+    assert len(found) == 1
+    violation = found[0]
+    assert violation.attr == "current"
+    assert violation.contexts == frozenset({"loop", "thread"})
+    assert "no common lock" in violation.describe()
+
+
+def test_common_lock_suppresses_violation(armed):
+    owner = Owner()
+    lock = TrackedLock("swap")
+    tsan.register_loop()
+    with lock:
+        tsan.note(owner, "current")
+
+    def writer():
+        with lock:
+            tsan.note(owner, "current", write=True)
+
+    in_thread(writer)
+    assert tsan.violations() == []
+
+
+def test_partial_locking_is_still_a_violation(armed):
+    owner = Owner()
+    lock = TrackedLock("swap")
+    tsan.register_loop()
+    tsan.note(owner, "current")  # loop-side read takes no lock
+
+    def writer():
+        with lock:
+            tsan.note(owner, "current", write=True)
+
+    in_thread(writer)
+    assert len(tsan.violations()) == 1
+
+
+def test_read_only_cross_context_traffic_is_clean(armed):
+    owner = Owner()
+    tsan.register_loop()
+    tsan.note(owner, "current")
+    in_thread(lambda: tsan.note(owner, "current"))
+    assert tsan.violations() == []
+
+
+def test_single_context_writes_are_clean(armed):
+    owner = Owner()
+    tsan.register_loop()
+    tsan.note(owner, "current", write=True)
+    tsan.note(owner, "current")
+    assert tsan.violations() == []
+
+
+def test_distinct_owners_do_not_merge(armed):
+    first, second = Owner(), Owner()
+    tsan.register_loop()
+    tsan.note(first, "current", write=True)
+    in_thread(lambda: tsan.note(second, "current", write=True))
+    assert tsan.violations() == []
+
+
+def test_reset_clears_records_and_loop_registration(armed):
+    owner = Owner()
+    tsan.register_loop()
+    tsan.note(owner, "current", write=True)
+    in_thread(lambda: tsan.note(owner, "current"))
+    assert tsan.violations()
+    tsan.reset()
+    assert tsan.violations() == []
+
+
+# ---------------------------------------------------------------------------
+# Lock bookkeeping
+# ---------------------------------------------------------------------------
+
+def test_tracked_lock_releases_name_on_exit(armed):
+    owner = Owner()
+    lock = TrackedLock("swap")
+    with lock:
+        pass
+    tsan.register_loop()
+    tsan.note(owner, "current", write=True)  # after the with: lockset empty
+    in_thread(lambda: tsan.note(owner, "current"))
+    assert len(tsan.violations()) == 1
+
+
+def test_held_locks_are_per_thread(armed):
+    owner = Owner()
+    lock = TrackedLock("swap")
+    tsan.register_loop()
+
+    def writer():
+        # This thread never acquired the lock; its lockset must be empty
+        # even while the main thread holds it.
+        tsan.note(owner, "current", write=True)
+
+    with lock:
+        tsan.note(owner, "current")
+        in_thread(writer)
+    assert len(tsan.violations()) == 1

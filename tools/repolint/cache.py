@@ -1,0 +1,177 @@
+"""Parse-once source cache and SHA-keyed per-file result cache.
+
+Two independent layers, both deliberately simple:
+
+* :class:`SourceCache` — in-run memoization of ``(source, AST, lines,
+  sha)`` per path.  One repolint invocation touches most files twice —
+  once for the per-file rules, once when :class:`ProgramContext` parses
+  the whole package for the program passes — and every rule shares the
+  parse.  Nothing persists; the cache lives for one ``analyze_paths``
+  call.
+* :class:`ResultCache` — on-disk (``.repolint-cache.json`` at the repo
+  root) map of ``path → (content sha, per-file findings)``.  A file whose
+  SHA is unchanged skips per-file analysis entirely on the next run —
+  the payoff for ``--changed`` loops such as the pre-commit hook.  Only
+  *per-file* findings are cached: program-pass findings depend on every
+  other file in the package, so they are always recomputed.  Cached
+  findings are stored post-suppression, so replaying them needs no
+  source access.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.repolint.engine import Finding
+
+CACHE_FILE_NAME = ".repolint-cache.json"
+
+#: Bump when the cached payload shape (or anything that invalidates old
+#: entries wholesale, like a rule-set change) needs a clean slate.
+CACHE_SCHEMA_VERSION = 1
+
+
+def content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ParsedFile:
+    """One file, parsed once and shared by every analysis layer."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    source_lines: list[str]
+    sha: str
+
+
+@dataclass
+class SourceCache:
+    """Per-run ``path → ParsedFile`` memo (no persistence, no eviction)."""
+
+    _files: dict[Path, ParsedFile] = field(default_factory=dict)
+    parses: int = 0  # distinct files actually parsed (for the benchmark)
+    hits: int = 0
+
+    def parse(self, path: Path) -> ParsedFile:
+        """Parsed form of ``path``; OSError/SyntaxError propagate to the
+        caller, which decides between PARSE001 and skipping."""
+        resolved = path.resolve()
+        cached = self._files.get(resolved)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        parsed = ParsedFile(
+            path=path,
+            source=source,
+            tree=tree,
+            source_lines=source.splitlines(),
+            sha=content_sha(source),
+        )
+        self._files[resolved] = parsed
+        self.parses += 1
+        return parsed
+
+
+def _finding_to_payload(finding: Finding) -> dict[str, object]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "code": finding.code,
+        "message": finding.message,
+        "hint": finding.hint,
+    }
+
+
+def _finding_from_payload(payload: dict[str, object]) -> Finding:
+    return Finding(
+        path=str(payload["path"]),
+        line=int(payload["line"]),  # type: ignore[arg-type]
+        col=int(payload["col"]),  # type: ignore[arg-type]
+        code=str(payload["code"]),
+        message=str(payload["message"]),
+        hint=str(payload.get("hint", "")),
+    )
+
+
+class ResultCache:
+    """SHA-keyed per-file findings, persisted as JSON at the repo root.
+
+    Corrupt or schema-mismatched cache files are treated as empty — the
+    cache can only ever cost a recompute, never wrong results.
+    """
+
+    def __init__(self, cache_path: Path) -> None:
+        self.cache_path = cache_path
+        self._entries: dict[str, dict[str, object]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        try:
+            raw = json.loads(cache_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(raw, dict)
+            and raw.get("version") == CACHE_SCHEMA_VERSION
+            and isinstance(raw.get("files"), dict)
+        ):
+            self._entries = raw["files"]
+
+    @classmethod
+    def for_repo(cls, anchor: Path) -> "ResultCache":
+        """Cache co-located with the pyproject that owns ``anchor``."""
+        from tools.repolint.config import find_pyproject
+
+        pyproject = find_pyproject(anchor)
+        root = pyproject.parent if pyproject is not None else Path.cwd()
+        return cls(root / CACHE_FILE_NAME)
+
+    def _key(self, path: Path) -> str:
+        return str(path.resolve())
+
+    def lookup(self, path: Path, sha: str) -> list[Finding] | None:
+        """Cached per-file findings when the content hash matches."""
+        entry = self._entries.get(self._key(path))
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        payloads = entry.get("findings")
+        if not isinstance(payloads, list):
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from_payload(item) for item in payloads]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, path: Path, sha: str, findings: list[Finding]) -> None:
+        self._entries[self._key(path)] = {
+            "sha": sha,
+            "findings": [_finding_to_payload(finding) for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write back when anything changed; I/O errors are non-fatal."""
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_SCHEMA_VERSION, "files": self._entries}
+        try:
+            self.cache_path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass
+        self._dirty = False

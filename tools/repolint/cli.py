@@ -86,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast path: only scan .py files git reports as modified/untracked",
     )
     parser.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=None,
+        help=(
+            "reuse per-file findings for files whose content hash is "
+            "unchanged (.repolint-cache.json; default: on for --changed)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the per-file result cache",
+    )
+    parser.add_argument(
         "--select",
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
@@ -220,7 +236,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         targets = [Path("src")]
 
-    findings: list[Finding] = analyze_paths(targets, rules=rules)
+    use_cache = args.cache if args.cache is not None else args.changed
+    result_cache = None
+    # Cached findings reflect the full rule set; a --select run must not
+    # read (or poison) them.
+    if use_cache and targets and not args.select:
+        from tools.repolint.cache import ResultCache
+
+        result_cache = ResultCache.for_repo(Path(targets[0]))
+
+    findings: list[Finding] = analyze_paths(
+        targets, rules=rules, result_cache=result_cache
+    )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     rendered = render_findings(findings, args.format)
     if args.output:

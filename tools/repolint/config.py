@@ -33,6 +33,15 @@ class RepolintConfig:
     extra_edges: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     hot_functions: frozenset[str] = frozenset()
     resilience_packages: tuple[str, ...] = ()
+    #: Packages whose classes/coroutines get the attr-level concurrency
+    #: analyses (ASYNC902/904); empty means the whole package.
+    concurrency_packages: tuple[str, ...] = ()
+    #: Functions sanctioned to block the event loop — the whole call
+    #: subtree under each entry is exempt from ASYNC901 (startup paths).
+    allow_blocking: frozenset[str] = frozenset()
+    #: Concurrency sync points: functions (ASYNC904) or ``Class.attr``
+    #: state keys (ASYNC902) whose interleavings are documented as safe.
+    concurrency_sync_points: frozenset[str] = frozenset()
 
     @property
     def top_rank(self) -> int:
@@ -58,6 +67,7 @@ class RepolintConfig:
         parallel = data.get("parallel", {})
         hotpath = data.get("hotpath", {})
         resilience = data.get("resilience", {})
+        concurrency = data.get("concurrency", {})
         return cls(
             package=str(data.get("package", "repro")),
             src_root=str(data.get("src-root", "src")),
@@ -75,6 +85,15 @@ class RepolintConfig:
             hot_functions=frozenset(str(n) for n in hotpath.get("functions", [])),
             resilience_packages=tuple(
                 str(n) for n in resilience.get("packages", [])
+            ),
+            concurrency_packages=tuple(
+                str(n) for n in concurrency.get("packages", [])
+            ),
+            allow_blocking=frozenset(
+                str(n) for n in concurrency.get("allow-blocking", [])
+            ),
+            concurrency_sync_points=frozenset(
+                str(n) for n in concurrency.get("sync-points", [])
             ),
         )
 

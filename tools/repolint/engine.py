@@ -5,12 +5,21 @@ environment that can run the repo itself.  Rules come in two shapes:
 
 * per-file :class:`Rule` — the engine parses each file once, hands every
   rule the same :class:`RuleContext`, and filters the merged findings
-  through per-line ``# repolint: disable=CODE`` suppression comments;
+  through per-line ``# repolint: disable=CODE`` and file-level
+  ``# repolint: disable-file=CODE`` suppression comments;
 * whole-program :class:`ProgramRule` — the engine additionally parses the
   *entire* configured package (even when only a subset of files was
   requested, so import-layer and call-graph facts are never truncated),
   builds a :class:`ProgramContext`, runs each program rule once, and keeps
   only the findings that land in requested files.
+
+One :class:`~tools.repolint.cache.SourceCache` is threaded through a whole
+``analyze_paths`` run, so a file that is both a per-file target and a
+member of the analyzed package is read and parsed exactly once; an
+optional :class:`~tools.repolint.cache.ResultCache` additionally skips
+per-file analysis for files whose content hash is unchanged since the
+last run (program passes always recompute — their verdicts depend on
+every other file).
 """
 
 from __future__ import annotations
@@ -21,11 +30,17 @@ import re
 from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from tools.repolint.config import RepolintConfig, find_pyproject, load_config
 
+if TYPE_CHECKING:  # import-cycle guard: cache.py imports Finding from here
+    from tools.repolint.cache import ResultCache, SourceCache
+
 SUPPRESS_PATTERN = re.compile(r"#\s*repolint:\s*disable=([A-Za-z0-9_,\s]+)")
+FILE_SUPPRESS_PATTERN = re.compile(
+    r"#\s*repolint:\s*disable-file=([A-Za-z0-9_,\s]+)"
+)
 
 #: Directories never descended into when walking a tree of files.
 SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
@@ -190,16 +205,30 @@ class ProgramContext:
         return cls(files, config)
 
     @classmethod
-    def from_package(cls, package_dir: Path, config: RepolintConfig) -> "ProgramContext":
-        """Parse every module under the installed package directory."""
+    def from_package(
+        cls,
+        package_dir: Path,
+        config: RepolintConfig,
+        source_cache: "SourceCache | None" = None,
+    ) -> "ProgramContext":
+        """Parse every module under the installed package directory.
+
+        With a ``source_cache`` (one per ``analyze_paths`` run) files that
+        per-file rules already parsed are reused instead of re-read.
+        """
         files = []
         for path in iter_python_files([package_dir]):
             module = module_for_path(path, package=config.package)
             if module is None:
                 continue
             try:
-                source = path.read_text(encoding="utf-8")
-                tree = ast.parse(source)
+                if source_cache is not None:
+                    parsed = source_cache.parse(path)
+                    tree, source_lines = parsed.tree, parsed.source_lines
+                else:
+                    source = path.read_text(encoding="utf-8")
+                    tree = ast.parse(source)
+                    source_lines = source.splitlines()
             except (OSError, SyntaxError):
                 continue  # unreadable/unparsable files carry PARSE001 instead
             display = Path(os.path.relpath(path, Path.cwd()))
@@ -208,7 +237,7 @@ class ProgramContext:
                     path=display,
                     module=module,
                     tree=tree,
-                    source_lines=source.splitlines(),
+                    source_lines=source_lines,
                 )
             )
         return cls(files, config)
@@ -236,6 +265,12 @@ class ProgramContext:
         from tools.repolint.effects import infer_effects
 
         return infer_effects(self.index)
+
+    @cached_property
+    def concurrency(self):  # -> ConcurrencyIndex
+        from tools.repolint.graphs.concurrency import build_concurrency_index
+
+        return build_concurrency_index(self.index, self.call_graph, self.config)
 
     def file_for(self, module: str) -> ProgramFile | None:
         return self.files.get(module)
@@ -294,6 +329,24 @@ def suppressed_codes_by_line(source_lines: Sequence[str]) -> dict[int, set[str]]
     return suppressed
 
 
+def file_suppressed_codes(source_lines: Sequence[str]) -> set[str]:
+    """Whole-file suppressions from ``# repolint: disable-file=CODE[,...]``.
+
+    The comment may sit on any line (module docstring epilogue, next to
+    the offending cluster, ...); each named code — or ``all`` — is
+    silenced for the entire file.  Other codes keep firing.
+    """
+    suppressed: set[str] = set()
+    for line in source_lines:
+        match = FILE_SUPPRESS_PATTERN.search(line)
+        if match is None:
+            continue
+        suppressed.update(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+    return suppressed
+
+
 def default_rules() -> list[Rule]:
     from tools.repolint.rules import all_rules
 
@@ -301,12 +354,17 @@ def default_rules() -> list[Rule]:
 
 
 def _filter_suppressed(
-    findings: Iterable[Finding], suppressed: Mapping[int, set[str]]
+    findings: Iterable[Finding],
+    suppressed: Mapping[int, set[str]],
+    file_suppressed: set[str] | None = None,
 ) -> list[Finding]:
+    file_codes = file_suppressed or set()
     return [
         finding
         for finding in findings
-        if not (
+        if finding.code not in file_codes
+        and "all" not in file_codes
+        and not (
             finding.line in suppressed
             and (
                 finding.code in suppressed[finding.line]
@@ -323,30 +381,33 @@ def analyze_source(
     rules: Sequence[Rule] | None = None,
     config: RepolintConfig | None = None,
     extra_sources: Mapping[str, str] | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Finding]:
     """Run every rule over one source blob and filter suppressions.
 
     Per-file rules always run.  Program rules run only when an explicit
     ``config`` is given: the blob (plus any ``extra_sources``, a mapping of
     dotted module name to source) then forms the whole program, which keeps
-    snippet-level tests hermetic.
+    snippet-level tests hermetic.  A pre-parsed ``tree`` (from the run's
+    :class:`SourceCache`) skips the redundant parse.
     """
     path = Path(path)
     if rules is None:
         rules = default_rules()
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=str(path),
-                line=error.lineno or 1,
-                col=(error.offset or 0) + 1,
-                code="PARSE001",
-                message=f"file does not parse: {error.msg}",
-                hint="repolint needs syntactically valid Python",
-            )
-        ]
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    code="PARSE001",
+                    message=f"file does not parse: {error.msg}",
+                    hint="repolint needs syntactically valid Python",
+                )
+            ]
     source_lines = source.splitlines()
     module = module if module is not None else module_for_path(path)
     ctx = RuleContext(
@@ -376,12 +437,40 @@ def analyze_source(
                     for finding in rule.check_program(program)
                     if finding.path in target
                 )
-    kept = _filter_suppressed(findings, suppressed_codes_by_line(source_lines))
+    kept = _filter_suppressed(
+        findings,
+        suppressed_codes_by_line(source_lines),
+        file_suppressed_codes(source_lines),
+    )
     return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
 
 
-def analyze_file(path: Path | str, rules: Sequence[Rule] | None = None) -> list[Finding]:
+def analyze_file(
+    path: Path | str,
+    rules: Sequence[Rule] | None = None,
+    source_cache: "SourceCache | None" = None,
+) -> list[Finding]:
     path = Path(path)
+    if source_cache is not None:
+        try:
+            parsed = source_cache.parse(path)
+        except SyntaxError:
+            pass  # fall through to analyze_source for the PARSE001 finding
+        except OSError as error:
+            return [
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    code="PARSE001",
+                    message=f"file is unreadable: {error}",
+                    hint="repolint needs readable source files",
+                )
+            ]
+        else:
+            return analyze_source(
+                parsed.source, path, rules=rules, tree=parsed.tree
+            )
     source = path.read_text(encoding="utf-8")
     return analyze_source(source, path, rules=rules)
 
@@ -415,42 +504,72 @@ def locate_package_dir(
 
 
 def build_program(
-    anchor: Path | str | None = None, config: RepolintConfig | None = None
+    anchor: Path | str | None = None,
+    config: RepolintConfig | None = None,
+    source_cache: "SourceCache | None" = None,
 ) -> ProgramContext | None:
     """ProgramContext for the package owning ``anchor`` (default: cwd)."""
     located = locate_package_dir(anchor, config)
     if located is None:
         return None
     package_dir, config = located
-    return ProgramContext.from_package(package_dir, config)
+    return ProgramContext.from_package(package_dir, config, source_cache)
 
 
 def analyze_paths(
     paths: Iterable[Path | str],
     rules: Sequence[Rule] | None = None,
     config: RepolintConfig | None = None,
+    source_cache: "SourceCache | None" = None,
+    result_cache: "ResultCache | None" = None,
 ) -> list[Finding]:
     """Per-file rules over every target, plus program rules over the package.
 
     Program rules always analyze the complete configured package so that
     partial runs (``--changed``, a single file) still see whole-program
     facts; their findings are then restricted to the requested targets.
+
+    One :class:`SourceCache` (created here when not supplied) is shared by
+    the per-file loop and the package parse, so every file is read and
+    parsed at most once per run.  With a :class:`ResultCache`, per-file
+    analysis is skipped outright for files whose content hash matches the
+    previous run; program-pass findings are always recomputed.
     """
+    from tools.repolint.cache import SourceCache
+
     if rules is None:
         rules = default_rules()
+    if source_cache is None:
+        source_cache = SourceCache()
     file_rules = [rule for rule in rules if not isinstance(rule, ProgramRule)]
     program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
     findings: list[Finding] = []
     targets = list(iter_python_files(paths))
     for path in targets:
-        findings.extend(analyze_file(path, rules=file_rules))
+        cached_sha: str | None = None
+        if result_cache is not None:
+            try:
+                cached_sha = source_cache.parse(path).sha
+            except (OSError, SyntaxError):
+                cached_sha = None
+            if cached_sha is not None:
+                cached = result_cache.lookup(path, cached_sha)
+                if cached is not None:
+                    findings.extend(cached)
+                    continue
+        file_findings = analyze_file(
+            path, rules=file_rules, source_cache=source_cache
+        )
+        findings.extend(file_findings)
+        if result_cache is not None and cached_sha is not None:
+            result_cache.store(path, cached_sha, file_findings)
     if program_rules and targets:
         located = locate_package_dir(targets[0], config=config)
         target_set = {path.resolve() for path in targets}
         if located is not None and any(
             path.is_relative_to(located[0].resolve()) for path in target_set
         ):
-            program = ProgramContext.from_package(*located)
+            program = ProgramContext.from_package(*located, source_cache)
             in_program = {
                 str(file.path): file
                 for file in program.files.values()
@@ -468,6 +587,9 @@ def analyze_paths(
                         _filter_suppressed(
                             [finding],
                             suppressed_codes_by_line(file.source_lines),
+                            file_suppressed_codes(file.source_lines),
                         )
                     )
+    if result_cache is not None:
+        result_cache.save()
     return findings

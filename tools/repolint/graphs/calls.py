@@ -32,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Pseudo-type for numpy Generators so rng receivers survive resolution.
 GENERATOR_TYPE = "numpy.random.Generator"
 
+#: Pseudo-types for lock constructors — the concurrency pass needs to know
+#: which ``self`` attributes are locks (and of which flavour) to compute
+#: locksets and await-under-lock regions.
+SYNC_LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+ASYNC_LOCK_TYPE = "asyncio.Lock"
+LOCK_TYPES = SYNC_LOCK_TYPES | {ASYNC_LOCK_TYPE}
+
 #: Method names that belong to builtin containers; never fallback-matched.
 _CONTAINER_METHOD_NAMES = {
     "append",
@@ -181,6 +188,8 @@ class ProgramIndex:
             return resolved
         if resolved == GENERATOR_TYPE:
             return GENERATOR_TYPE
+        if resolved in LOCK_TYPES:
+            return resolved
         return None
 
     def mro(self, class_qualname: str) -> list[str]:
@@ -370,6 +379,8 @@ def _collect_attr_types(index: ProgramIndex, info: ClassInfo) -> None:
                         attr_type = resolved
                     elif resolved == "numpy.random.default_rng":
                         attr_type = GENERATOR_TYPE
+                    elif resolved in LOCK_TYPES:
+                        attr_type = resolved
             elif isinstance(value, ast.Name):
                 attr_type = params.get(value.id)
             if attr_type is not None:

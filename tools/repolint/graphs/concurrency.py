@@ -1,0 +1,548 @@
+"""Async-aware concurrency facts: contexts, awaits, locks, spawns, accesses.
+
+The call graph (:mod:`tools.repolint.graphs.calls`) answers "who may call
+whom"; this module answers "in which *execution context* does each function
+run, and what does it do there that another context could observe".  It is
+the substrate for the ASYNC9xx rule family and the concurrency certificate:
+
+* **execution contexts** — every ``async def`` runs on the event loop;
+  synchronous callees of loop-context functions inherit ``loop`` (they
+  block the loop while they run); ``threading.Thread(target=f)`` targets
+  run in ``thread`` context; ``loop.run_in_executor(..., f)`` /
+  ``asyncio.to_thread(f)`` targets run in ``executor`` context.  Thread
+  and executor contexts propagate to synchronous callees the same way.
+* **suspension points** — ``await`` expressions plus ``async for`` /
+  ``async with`` entries, where another task can interleave;
+* **lock regions** — ``with self._lock:`` blocks whose context expression
+  types to a lock (``threading.Lock``/``RLock``, ``asyncio.Lock``, or a
+  program class named ``*Lock``), with the awaits they contain;
+* **blocking operations** — calls that park the calling thread
+  (``time.sleep``, sync file/socket I/O, ``Future.result()``, ...);
+* **spawns** — tasks/threads/executor jobs created, their resolved
+  targets, and whether the handle is retained;
+* **attribute accesses** — reads/writes of ``self.attr`` (and of typed
+  receivers' attributes), each tagged with the lockset held at the access
+  — the input to lockset-intersection race detection.
+
+Everything is derived from the shared :class:`ProgramIndex`; nothing here
+re-parses source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from tools.repolint.config import RepolintConfig
+from tools.repolint.effects import MUTATING_METHODS
+from tools.repolint.graphs.calls import (
+    ASYNC_LOCK_TYPE,
+    SYNC_LOCK_TYPES,
+    Binding,
+    CallGraph,
+    FunctionInfo,
+    ProgramIndex,
+    _dotted_name,
+    compute_bindings,
+    infer_expr_type,
+)
+
+#: Call origins that park the calling thread (and therefore the event loop
+#: when executed in ``loop`` context).  Dotted names after import
+#: resolution; ``open`` is the builtin.
+BLOCKING_CALL_ORIGINS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.popen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "shutil.copy",
+        "shutil.copytree",
+        "shutil.rmtree",
+        "numpy.load",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savetxt",
+        "numpy.loadtxt",
+    }
+)
+
+#: Method names that do synchronous file I/O on any receiver (pathlib in
+#: this codebase; program classes defining a method of the same name are
+#: excluded at the call site).
+BLOCKING_METHOD_NAMES = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+#: The three contexts a function can execute in besides plain main-thread
+#: script code (which cannot race with itself and is never flagged).
+CONTEXT_LOOP = "loop"
+CONTEXT_THREAD = "thread"
+CONTEXT_EXECUTOR = "executor"
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """One thread-parking operation inside a function body."""
+
+    detail: str
+    line: int
+
+
+@dataclass(frozen=True)
+class LockRegion:
+    """One ``with``-guarded critical section and the awaits inside it."""
+
+    lock: str  # source spelling, e.g. "self._swap_lock"
+    kind: str  # "sync" | "async"
+    line: int
+    await_lines: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """One task/thread/executor-job creation site."""
+
+    kind: str  # "task" | "thread" | "executor"
+    targets: tuple[str, ...]  # resolved program qualnames (may be empty)
+    line: int
+    retained: bool  # the handle is stored/awaited/returned, not discarded
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One read/write of ``<cls>.<attr>`` observable outside the function."""
+
+    cls: str
+    attr: str
+    function: str
+    line: int
+    write: bool
+    locks: tuple[str, ...]  # lock attr names held at the access, sorted
+
+
+@dataclass
+class FunctionConcurrency:
+    """Concurrency-relevant facts about one function body."""
+
+    qualname: str
+    is_async: bool
+    await_lines: tuple[int, ...] = ()
+    blocking: tuple[BlockingOp, ...] = ()
+    lock_regions: tuple[LockRegion, ...] = ()
+    spawns: tuple[Spawn, ...] = ()
+    accesses: tuple[AttrAccess, ...] = ()
+    #: property getters invoked by bare attribute loads (``x.version``) —
+    #: invisible to the call graph, but they run in the caller's context.
+    property_reads: tuple[str, ...] = ()
+
+
+@dataclass
+class ConcurrencyIndex:
+    """Per-function facts plus the whole-program context assignment."""
+
+    functions: dict[str, FunctionConcurrency] = field(default_factory=dict)
+    #: execution contexts each function may run in (subset of loop/thread/
+    #: executor; empty means plain main-thread code).
+    contexts: dict[str, set[str]] = field(default_factory=dict)
+    #: the async root that gives each loop-context function its loop
+    #: context (provenance for ASYNC901 messages); allow-blocking subtrees
+    #: are excluded, so membership here *is* the ASYNC901 exposure set.
+    loop_root: dict[str, str] = field(default_factory=dict)
+    #: (cls, attr) -> accesses across the whole program, for lockset checks.
+    shared_state: dict[tuple[str, str], list[AttrAccess]] = field(
+        default_factory=dict
+    )
+
+    def context_label(self, qualname: str) -> list[str]:
+        return sorted(self.contexts.get(qualname, set()))
+
+
+def _lock_kind(index: ProgramIndex, lock_type: str | None) -> str | None:
+    """"sync"/"async" for a lock-ish receiver type, else None."""
+    if lock_type is None:
+        return None
+    if lock_type in SYNC_LOCK_TYPES:
+        return "sync"
+    if lock_type == ASYNC_LOCK_TYPE:
+        return "async"
+    if lock_type in index.classes and lock_type.rsplit(".", 1)[-1].endswith("Lock"):
+        # Program-defined lock wrappers (e.g. the tsan TrackedLock) behave
+        # like the synchronous lock they wrap.
+        return "sync"
+    return None
+
+
+def _receiver_class(
+    index: ProgramIndex,
+    function: FunctionInfo,
+    bindings: dict[str, Binding],
+    node: ast.expr,
+) -> str | None:
+    """Program class owning an attribute access target, or None."""
+    inferred = infer_expr_type(index, function, bindings, node)
+    if inferred is not None and inferred in index.classes:
+        return inferred
+    return None
+
+
+class _FunctionScanner:
+    """One pass over a function body collecting all concurrency facts."""
+
+    def __init__(self, index: ProgramIndex, function: FunctionInfo) -> None:
+        self.index = index
+        self.function = function
+        self.bindings = compute_bindings(index, function)
+        self.resolver = index.resolvers.get(function.module)
+        self.await_lines: list[int] = []
+        self.blocking: list[BlockingOp] = []
+        self.lock_regions: list[LockRegion] = []
+        self.spawns: list[Spawn] = []
+        self.accesses: list[AttrAccess] = []
+        self.property_reads: list[str] = []
+
+    def scan(self) -> FunctionConcurrency:
+        for stmt in self.function.node.body:
+            self._visit(stmt, locks=())
+        return FunctionConcurrency(
+            qualname=self.function.qualname,
+            is_async=isinstance(self.function.node, ast.AsyncFunctionDef),
+            await_lines=tuple(self.await_lines),
+            blocking=tuple(self.blocking),
+            lock_regions=tuple(self.lock_regions),
+            spawns=tuple(self.spawns),
+            accesses=tuple(self.accesses),
+            property_reads=tuple(self.property_reads),
+        )
+
+    # -- traversal ------------------------------------------------------
+    def _visit(self, node: ast.AST, locks: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions are scanned on their own
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node, locks)
+            return
+        if isinstance(node, ast.Await):
+            self.await_lines.append(node.lineno)
+        elif isinstance(node, (ast.AsyncFor, ast.AsyncWith)):
+            self.await_lines.append(node.lineno)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node, locks)
+        elif isinstance(node, ast.Attribute):
+            self._visit_attribute(node, locks)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Attribute
+        ):
+            self._record_access(node.target, write=True, locks=locks)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith, locks: tuple[str, ...]) -> None:
+        """Enter lock regions named by the with-items, then walk the body."""
+        acquired: list[tuple[str, str]] = []  # (spelling, kind)
+        if isinstance(node, ast.AsyncWith):
+            self.await_lines.append(node.lineno)
+        for item in node.items:
+            expr = item.context_expr
+            # ``with self._lock:`` and ``with lock.acquire_timeout():`` —
+            # type the receiver of a bare attribute/name, or of the call's
+            # receiver for zero-argument helper methods on a lock.
+            target = expr
+            if isinstance(target, ast.Call):
+                target = target.func
+            lock_type = infer_expr_type(
+                self.index, self.function, self.bindings, target
+            )
+            kind = _lock_kind(self.index, lock_type)
+            if kind is None and isinstance(target, ast.Attribute):
+                kind = _lock_kind(
+                    self.index,
+                    infer_expr_type(
+                        self.index, self.function, self.bindings, target.value
+                    ),
+                )
+            if kind is not None:
+                spelling = ast.unparse(target)
+                acquired.append((spelling, kind))
+            for child in ast.iter_child_nodes(item):
+                self._visit(child, locks)
+        held = locks + tuple(spelling for spelling, _ in acquired)
+        before = len(self.await_lines)
+        for stmt in node.body:
+            self._visit(stmt, held)
+        inside = tuple(self.await_lines[before:])
+        for spelling, kind in acquired:
+            self.lock_regions.append(
+                LockRegion(
+                    lock=spelling, kind=kind, line=node.lineno, await_lines=inside
+                )
+            )
+
+    # -- calls ----------------------------------------------------------
+    def _visit_call(self, call: ast.Call, locks: tuple[str, ...]) -> None:
+        dotted = _dotted_name(call.func)
+        resolved = None
+        if dotted is not None and self.resolver is not None:
+            head, _, rest = dotted.partition(".")
+            origin = self.resolver.aliases.get(head, head)
+            resolved = f"{origin}.{rest}" if rest else origin
+        if resolved is not None:
+            if resolved in ("asyncio.create_task", "asyncio.ensure_future"):
+                self._record_spawn(call, "task", self._task_targets(call))
+                return
+            if resolved == "asyncio.to_thread":
+                self._record_spawn(call, "executor", self._arg_targets(call, 0))
+                return
+            if resolved == "threading.Thread":
+                self._record_spawn(call, "thread", self._thread_targets(call))
+                return
+            if resolved in BLOCKING_CALL_ORIGINS and not self._is_program_symbol(
+                resolved
+            ):
+                self.blocking.append(BlockingOp(f"{dotted}(...)", call.lineno))
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in ("create_task", "ensure_future") and resolved is None:
+                # loop.create_task(...) on an untyped loop receiver.
+                self._record_spawn(call, "task", self._task_targets(call))
+                return
+            if attr == "run_in_executor":
+                self._record_spawn(call, "executor", self._arg_targets(call, 1))
+                return
+            receiver_cls = _receiver_class(
+                self.index, self.function, self.bindings, call.func.value
+            )
+            if attr == "result" and not call.args and not call.keywords:
+                if receiver_cls is None or attr not in self.index.classes[
+                    receiver_cls
+                ].methods:
+                    self.blocking.append(
+                        BlockingOp(f"{ast.unparse(call.func)}() [future wait]",
+                                   call.lineno)
+                    )
+            elif attr in BLOCKING_METHOD_NAMES and receiver_cls is None:
+                self.blocking.append(
+                    BlockingOp(f"{ast.unparse(call.func)}(...)", call.lineno)
+                )
+            elif attr in MUTATING_METHODS and isinstance(
+                call.func.value, ast.Attribute
+            ):
+                # self.attr.append(...) mutates self.attr in place.
+                self._record_access(call.func.value, write=True, locks=locks)
+
+    def _is_program_symbol(self, resolved: str) -> bool:
+        return resolved in self.index.functions or resolved in self.index.classes
+
+    # -- spawns ---------------------------------------------------------
+    def _record_spawn(
+        self, call: ast.Call, kind: str, targets: tuple[str, ...]
+    ) -> None:
+        self.spawns.append(
+            Spawn(
+                kind=kind,
+                targets=targets,
+                line=call.lineno,
+                retained=not self._is_discarded(call),
+            )
+        )
+
+    def _is_discarded(self, call: ast.Call) -> bool:
+        """True when the spawn's handle is dropped on the floor.
+
+        A bare expression statement (``asyncio.create_task(f())``) and a
+        chained ``threading.Thread(...).start()`` both lose the handle; an
+        assignment, ``await``, ``return`` or argument position keeps it.
+        """
+        for parent in ast.walk(self.function.node):
+            if isinstance(parent, ast.Expr) and parent.value is call:
+                return True
+            if (
+                isinstance(parent, ast.Expr)
+                and isinstance(parent.value, ast.Call)
+                and isinstance(parent.value.func, ast.Attribute)
+                and parent.value.func.value is call
+            ):
+                return True
+        return False
+
+    def _resolve_target(self, node: ast.expr) -> tuple[str, ...]:
+        """Program qualnames a callable expression may refer to."""
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            resolved = self.index.resolve_symbol(self.function.module, dotted)
+            if resolved in self.index.functions:
+                return (resolved,)
+        if isinstance(node, ast.Attribute):
+            receiver_cls = _receiver_class(
+                self.index, self.function, self.bindings, node.value
+            )
+            if receiver_cls is not None:
+                return tuple(self.index.lookup_method(receiver_cls, node.attr))
+        if isinstance(node, (ast.Lambda,)):
+            return ()
+        return ()
+
+    def _task_targets(self, call: ast.Call) -> tuple[str, ...]:
+        if not call.args:
+            return ()
+        coro = call.args[0]
+        if isinstance(coro, ast.Call):
+            return self._resolve_target(coro.func)
+        return self._resolve_target(coro)
+
+    def _arg_targets(self, call: ast.Call, position: int) -> tuple[str, ...]:
+        if len(call.args) <= position:
+            return ()
+        return self._resolve_target(call.args[position])
+
+    def _thread_targets(self, call: ast.Call) -> tuple[str, ...]:
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                return self._resolve_target(keyword.value)
+        return ()
+
+    # -- attribute accesses ---------------------------------------------
+    def _visit_attribute(self, node: ast.Attribute, locks: tuple[str, ...]) -> None:
+        write = isinstance(node.ctx, (ast.Store, ast.Del))
+        if isinstance(node.ctx, ast.Load) or write:
+            self._record_access(node, write=write, locks=locks)
+
+    def _record_access(
+        self, node: ast.Attribute, write: bool, locks: tuple[str, ...]
+    ) -> None:
+        if self.function.name == "__init__" and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return  # construction happens-before publication
+        if isinstance(node.value, ast.Name):
+            binding = self.bindings.get(node.value.id)
+            if binding is not None and binding.owned:
+                # The function constructed this object itself; until it
+                # escapes (return/publish), no other context can see it.
+                return
+        owner = _receiver_class(
+            self.index, self.function, self.bindings, node.value
+        )
+        if owner is None:
+            return
+        info = self.index.classes[owner]
+        if node.attr in info.methods:
+            # A bare load of a @property runs its getter in this function's
+            # context; other method references are not state.
+            method = info.methods[node.attr]
+            target = self.index.functions.get(method)
+            if target is not None and not write and any(
+                dec in ("property", "functools.cached_property", "cached_property")
+                for dec in target.decorators
+            ):
+                self.property_reads.append(method)
+            return
+        lock_type = _lock_kind(self.index, info.attr_types.get(node.attr))
+        if lock_type is not None:
+            return  # the lock object itself is not racy state
+        self.accesses.append(
+            AttrAccess(
+                cls=owner,
+                attr=node.attr,
+                function=self.function.qualname,
+                line=node.lineno,
+                write=write,
+                locks=tuple(sorted(set(locks))),
+            )
+        )
+
+
+def build_concurrency_index(
+    index: ProgramIndex, call_graph: CallGraph, config: RepolintConfig
+) -> ConcurrencyIndex:
+    """Scan every function and assign execution contexts program-wide."""
+    result = ConcurrencyIndex()
+    for qualname, function in index.functions.items():
+        result.functions[qualname] = _FunctionScanner(index, function).scan()
+        result.contexts[qualname] = set()
+
+    edges: dict[str, list[str]] = {}
+    for edge in call_graph.edges:
+        # Name-only "fallback" edges are fine for conservative reachability
+        # but would smear loop context across unrelated subsystems; context
+        # assignment sticks to resolved edges.
+        if edge.kind == "fallback":
+            continue
+        edges.setdefault(edge.caller, []).append(edge.callee)
+    # Bare @property loads execute the getter in the caller's context but
+    # leave no call-graph edge; add them here so contexts flow through.
+    for qualname, info in result.functions.items():
+        for getter in info.property_reads:
+            edges.setdefault(qualname, []).append(getter)
+
+    def propagate(seed: str, context: str, *, stop_at: frozenset[str]) -> Iterator[str]:
+        """Yield functions acquiring ``context`` from ``seed`` (inclusive)."""
+        queue = [seed]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop()
+            if current in seen or current not in result.functions:
+                continue
+            seen.add(current)
+            yield current
+            if current in stop_at:
+                continue  # sanctioned subtree boundary
+            for callee in edges.get(current, []):
+                callee_info = result.functions.get(callee)
+                if callee_info is None:
+                    continue
+                # async callees always run on the loop regardless of who
+                # creates the coroutine; never retag them as thread work.
+                if context != CONTEXT_LOOP and callee_info.is_async:
+                    continue
+                queue.append(callee)
+
+    # Loop context: every async def, plus sync callees — excluding the
+    # allow-blocking subtrees, which are sanctioned to block the loop.
+    for qualname, info in result.functions.items():
+        if not info.is_async or qualname in config.allow_blocking:
+            continue
+        for reached in propagate(
+            qualname, CONTEXT_LOOP, stop_at=config.allow_blocking
+        ):
+            result.contexts[reached].add(CONTEXT_LOOP)
+            result.loop_root.setdefault(reached, qualname)
+    # Allow-blocking functions still *run* on the loop (for the cross-
+    # context analyses) even though ASYNC901 never fires inside them.
+    for qualname in config.allow_blocking:
+        if qualname not in result.functions:
+            continue
+        for reached in propagate(qualname, CONTEXT_LOOP, stop_at=frozenset()):
+            result.contexts[reached].add(CONTEXT_LOOP)
+
+    # Thread / executor contexts from spawn targets.
+    for info in result.functions.values():
+        for spawn in info.spawns:
+            if spawn.kind == "task":
+                continue  # tasks run on the loop; seeds above cover them
+            context = (
+                CONTEXT_THREAD if spawn.kind == "thread" else CONTEXT_EXECUTOR
+            )
+            for target in spawn.targets:
+                for reached in propagate(target, context, stop_at=frozenset()):
+                    if result.functions[reached].is_async:
+                        continue
+                    result.contexts[reached].add(context)
+
+    # Shared-state table: every access, keyed by (class, attr).
+    for info in result.functions.values():
+        for access in info.accesses:
+            result.shared_state.setdefault((access.cls, access.attr), []).append(
+                access
+            )
+    return result

@@ -1,10 +1,14 @@
 """``python -m tools.repolint report``: the whole-program analysis artifact.
 
-One JSON document bundling everything the ARCH/PAR/HOT passes computed:
-the import-layer graph with ranks, detected cycles, the call graph, an
-effect classification for every function, and the parallel-safety
+One JSON document bundling everything the ARCH/PAR/HOT/ASYNC passes
+computed: the import-layer graph with ranks, detected cycles, the call
+graph, an effect classification for every function, the parallel-safety
 certificate — per rollout entry point, every reachable function with its
-effect level and whether it executes in shared context.  CI archives this
+effect level and whether it executes in shared context — and the
+concurrency certificate: per execution context (event loop / thread /
+executor), every function running there with its blocking operations,
+lock regions, spawns and the cross-context shared-state table, plus the
+surviving ASYNC9xx findings and a ``clean`` verdict.  CI archives this
 artifact so architecture drift is diffable across commits.
 """
 
@@ -13,8 +17,136 @@ from __future__ import annotations
 from typing import Any
 
 from tools.repolint.effects import reachable_from
-from tools.repolint.engine import ProgramContext
+from tools.repolint.engine import Finding, ProgramContext
 from tools.repolint.graphs.imports import find_cycles
+
+
+def _finding_payload(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "code": finding.code,
+        "message": finding.message,
+    }
+
+
+def _concurrency_certificate(program: ProgramContext) -> dict[str, Any]:
+    """The ASYNC9xx verdict as a diffable artifact.
+
+    Covers every function the context analysis placed in an execution
+    context (restricted to ``[tool.repolint.concurrency] packages`` when
+    configured): which contexts it runs in, its loop-context provenance,
+    the blocking operations / lock regions / spawns observed in its body,
+    the cross-context shared-state table with lockset intersections, the
+    configured allowlists, and the findings that survive them.  ``clean``
+    is True exactly when no ASYNC9xx finding survives — the condition CI
+    gates on.
+    """
+    from tools.repolint.rules.concurrency import (
+        AwaitUnderLockRule,
+        BlockingInLoopRule,
+        OrphanSpawnRule,
+        ToctouAcrossAwaitRule,
+        UnlockedSharedStateRule,
+    )
+
+    config = program.config
+    concurrency = program.concurrency
+    packages = tuple(sorted(config.concurrency_packages))
+
+    def in_scope(qualname: str) -> bool:
+        if not packages:
+            return True
+        return any(
+            qualname == package or qualname.startswith(package + ".")
+            for package in packages
+        )
+
+    functions: dict[str, Any] = {}
+    for qualname in sorted(concurrency.functions):
+        if not in_scope(qualname):
+            continue
+        info = concurrency.functions[qualname]
+        contexts = concurrency.context_label(qualname)
+        if not contexts and not info.is_async:
+            continue  # plain main-thread code cannot race with itself
+        functions[qualname] = {
+            "async": info.is_async,
+            "contexts": contexts,
+            "loop_root": concurrency.loop_root.get(qualname),
+            "allow_blocking": qualname in config.allow_blocking,
+            "sync_point": qualname in config.concurrency_sync_points,
+            "awaits": len(info.await_lines),
+            "blocking": [
+                {"detail": op.detail, "line": op.line} for op in info.blocking
+            ],
+            "lock_regions": [
+                {
+                    "lock": region.lock,
+                    "kind": region.kind,
+                    "line": region.line,
+                    "awaits_inside": list(region.await_lines),
+                }
+                for region in info.lock_regions
+            ],
+            "spawns": [
+                {
+                    "kind": spawn.kind,
+                    "targets": list(spawn.targets),
+                    "line": spawn.line,
+                    "retained": spawn.retained,
+                }
+                for spawn in info.spawns
+            ],
+        }
+
+    shared_state = []
+    for (cls, attr), accesses in sorted(concurrency.shared_state.items()):
+        if not in_scope(cls):
+            continue
+        contexts_seen: set[str] = set()
+        for access in accesses:
+            contexts_seen.update(concurrency.contexts.get(access.function, set()))
+        common = set(accesses[0].locks)
+        for access in accesses[1:]:
+            common.intersection_update(access.locks)
+        shared_state.append(
+            {
+                "state": f"{cls}.{attr}",
+                "contexts": sorted(contexts_seen),
+                "writes": sum(1 for access in accesses if access.write),
+                "reads": sum(1 for access in accesses if not access.write),
+                "common_locks": sorted(common),
+                "sync_point": f"{cls}.{attr}"
+                in config.concurrency_sync_points,
+                "accessors": sorted(
+                    {access.function for access in accesses}
+                ),
+            }
+        )
+
+    findings = []
+    for rule_cls in (
+        BlockingInLoopRule,
+        UnlockedSharedStateRule,
+        AwaitUnderLockRule,
+        ToctouAcrossAwaitRule,
+        OrphanSpawnRule,
+    ):
+        findings.extend(
+            _finding_payload(finding)
+            for finding in rule_cls().check_program(program)
+        )
+
+    return {
+        "packages": list(packages),
+        "allow_blocking": sorted(config.allow_blocking),
+        "sync_points": sorted(config.concurrency_sync_points),
+        "functions": functions,
+        "shared_state": shared_state,
+        "findings": findings,
+        "clean": not findings,
+    }
 
 
 def build_report(program: ProgramContext) -> dict[str, Any]:
@@ -66,5 +198,6 @@ def build_report(program: ProgramContext) -> dict[str, Any]:
             for qualname in sorted(effects)
         },
         "certificate": certificate,
+        "concurrency_certificate": _concurrency_certificate(program),
         "hotpath": {"functions": sorted(config.hot_functions)},
     }

@@ -10,6 +10,13 @@ from tools.repolint.rules.arch import (
     UndeclaredLayerRule,
 )
 from tools.repolint.rules.checkpoint import CheckpointCompletenessRule
+from tools.repolint.rules.concurrency import (
+    AwaitUnderLockRule,
+    BlockingInLoopRule,
+    OrphanSpawnRule,
+    ToctouAcrossAwaitRule,
+    UnlockedSharedStateRule,
+)
 from tools.repolint.rules.hotpath import HotPathAllocationRule
 from tools.repolint.rules.numeric import UnguardedExpLogRule, UnguardedSumDivisionRule
 from tools.repolint.rules.parallel import (
@@ -41,6 +48,11 @@ RULE_CLASSES: list[type[Rule]] = [
     ModuleStateMutationRule,
     HotPathAllocationRule,
     UnboundedServeIORule,
+    BlockingInLoopRule,
+    UnlockedSharedStateRule,
+    AwaitUnderLockRule,
+    ToctouAcrossAwaitRule,
+    OrphanSpawnRule,
 ]
 
 
@@ -61,6 +73,8 @@ def rule_catalog() -> list[tuple[str, str, str]]:
 
 __all__ = [
     "AllDriftRule",
+    "AwaitUnderLockRule",
+    "BlockingInLoopRule",
     "CheckpointCompletenessRule",
     "GlobalNumpyRandomRule",
     "HotPathAllocationRule",
@@ -69,11 +83,14 @@ __all__ = [
     "LayerContractRule",
     "ModuleStateMutationRule",
     "MutableDefaultRule",
+    "OrphanSpawnRule",
     "ProgramRule",
     "RULE_CLASSES",
     "RolloutSharedStateRule",
     "Rule",
     "StdlibRandomRule",
+    "ToctouAcrossAwaitRule",
+    "UnlockedSharedStateRule",
     "UnboundedServeIORule",
     "UndeclaredLayerRule",
     "UnguardedExpLogRule",
