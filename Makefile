@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed lint-concurrency typecheck test test-serve test-fault test-chaos test-chaos-tsan serve bench-serve bench-resilience check
+.PHONY: lint lint-changed lint-concurrency lint-exceptions typecheck test test-serve test-fault test-chaos test-chaos-tsan serve bench-serve bench-resilience check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
@@ -17,6 +17,12 @@ lint-concurrency:
 	$(PYTHON) -m tools.repolint --select ASYNC901,ASYNC902,ASYNC903,ASYNC904,ASYNC905 src/
 	$(PYTHON) -m tools.repolint report --anchor src --out concurrency-certificate.json
 	$(PYTHON) -c "import json; c = json.load(open('concurrency-certificate.json'))['concurrency_certificate']; assert c['clean'], c['findings']; print('concurrency certificate clean:', len(c['functions']), 'functions')"
+
+## EXC10xx rules plus the exception certificate (must be clean).
+lint-exceptions:
+	$(PYTHON) -m tools.repolint --select EXC1001,EXC1002,EXC1003,EXC1004,EXC1005 src/
+	$(PYTHON) -m tools.repolint report --anchor src --out exception-certificate.json
+	$(PYTHON) -c "import json; c = json.load(open('exception-certificate.json'))['exception_certificate']; assert c['clean'], c['findings']; print('exception certificate clean:', len(c['boundaries']), 'boundaries,', len(c['broad_handlers']), 'broad handlers')"
 
 ## mypy --strict over the library (no-op with a notice if mypy is absent).
 typecheck:
@@ -61,4 +67,4 @@ bench-resilience:
 	$(PYTHON) benchmarks/bench_resilience.py
 
 ## Everything CI runs.
-check: lint lint-concurrency typecheck test test-fault test-chaos-tsan
+check: lint lint-concurrency lint-exceptions typecheck test test-fault test-chaos-tsan

@@ -14,7 +14,10 @@ The ``lint_cache`` section measures the two caching layers on top of the
 cold pass: the shared parse-once :class:`SourceCache` (every rule and the
 program passes reuse one AST per file) and the SHA-keyed
 :class:`ResultCache` warm re-run, with the speedup relative to the cold
-wall time.
+wall time.  ``lint_parallel`` measures the ``--jobs`` process pool at the
+CLI's default fan-out against the serial per-file loop (the program pass
+is single-process either way, so the achievable speedup is bounded by the
+per-file share of the wall time).
 
 Writes ``BENCH_static.json`` at the repo root::
 
@@ -103,6 +106,21 @@ def bench_lint_cache(cold_wall_s: float) -> dict:
     }
 
 
+def bench_lint_parallel(serial_wall_s: float) -> dict:
+    import os
+
+    jobs = min(8, os.cpu_count() or 1)
+    wall, findings = best_of(
+        3, lambda: analyze_paths(list(LINT_TARGETS), jobs=jobs)
+    )
+    return {
+        "jobs": jobs,
+        "wall_s": round(wall, 4),
+        "findings": len(findings),
+        "speedup_vs_serial": round(serial_wall_s / wall, 2) if wall else None,
+    }
+
+
 def bench_report() -> dict:
     wall, program = best_of(2, lambda: build_program(REPO_ROOT / "src"))
     assert program is not None
@@ -161,6 +179,7 @@ def main() -> None:
         "generated_by": "benchmarks/bench_repolint.py",
         "lint": lint,
         "lint_cache": bench_lint_cache(lint["wall_s"]),
+        "lint_parallel": bench_lint_parallel(lint["wall_s"]),
         "report": bench_report(),
         "rollout": bench_rollout(),
     }

@@ -32,6 +32,7 @@ from repro.core.config import (
 from repro.core.analysis import explain_selection, policy_feature_scores
 from repro.core.pafeat import PAFeat
 from repro.data.arff import load_arff_suite
+from repro.errors import ReproError
 from repro.data.catalog import dataset_names, load_dataset, load_mini_dataset
 from repro.data.synthetic import SyntheticSpec, generate_suite
 from repro.data.tasks import Task, TaskSuite
@@ -48,6 +49,7 @@ __all__ = [
     "ITSConfig",
     "PAFeat",
     "PAFeatConfig",
+    "ReproError",
     "SyntheticSpec",
     "Task",
     "TaskSuite",

@@ -113,7 +113,7 @@ def set_tsan_enabled(enabled: bool) -> bool:
     """
     global _enabled
     previous = _enabled
-    _enabled = bool(enabled)  # repolint: disable=PAR602
+    _enabled = bool(enabled)
     return previous
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable
 
 import numpy as np
+from repro.errors import LifecycleError
 
 from repro.analysis.contracts import check_state_batch
 from repro.core.config import EnvConfig
@@ -132,7 +133,7 @@ class FeatureSelectionEnv:
         selected subset and the subset's raw classifier score.
         """
         if self._done:
-            raise RuntimeError("step called on a finished episode; call reset()")
+            raise LifecycleError("step called on a finished episode; call reset()")
         if action not in (0, 1):
             raise ValueError(f"action must be 0 or 1, got {action}")
         if action == 1:

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+from repro.errors import DataValidationError, NotFittedError
 
 from repro.core.config import PAFeatConfig
 from repro.core.env import FeatureSelectionEnv
@@ -95,7 +96,7 @@ class PAFeat:
         :class:`~repro.io.checkpoint.TrainingInterrupted` is raised.
         """
         if not suite.seen_tasks:
-            raise ValueError("suite has no seen tasks to learn from")
+            raise DataValidationError("suite has no seen tasks to learn from")
         self._suite = suite
         self._n_features = suite.n_features
         # All tasks share one feature space, so the feature-feature |Pearson|
@@ -247,7 +248,7 @@ class PAFeat:
         agent = self.inference_agent()
         suite = suite if suite is not None else self._suite
         if suite is None:
-            raise RuntimeError("no suite available; call fit() first")
+            raise NotFittedError("no suite available; call fit() first")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         tasks = list(suite.unseen_tasks)
@@ -526,7 +527,7 @@ class PAFeat:
 
     def _require_fitted(self) -> FEATTrainer:
         if self.trainer is None:
-            raise RuntimeError("model is not fitted; call fit() first")
+            raise NotFittedError("model is not fitted; call fit() first")
         return self.trainer
 
     def inference_agent(self) -> DuelingDQNAgent:
@@ -535,4 +536,4 @@ class PAFeat:
             return self.trainer.agent
         if self._loaded_agent is not None:
             return self._loaded_agent
-        raise RuntimeError("model is not fitted; call fit() or repro.io.load_model()")
+        raise NotFittedError("model is not fitted; call fit() or repro.io.load_model()")

@@ -20,12 +20,13 @@ from __future__ import annotations
 from pathlib import Path
 
 import numpy as np
+from repro.errors import DataValidationError
 
 from repro.data.table import StructuredTable
 from repro.data.tasks import TaskSuite
 
 
-class ArffError(ValueError):
+class ArffError(DataValidationError):
     """Raised when an ARFF file cannot be parsed."""
 
 

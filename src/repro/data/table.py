@@ -14,6 +14,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import BoundsError
+
 
 class StructuredTable:
     """In-memory relational table with m features and k label columns."""
@@ -92,7 +94,7 @@ class StructuredTable:
                 raise KeyError(f"no label column named {name_or_index!r}") from None
         index = int(name_or_index)
         if not 0 <= index < self.n_labels:
-            raise IndexError(f"label index {index} out of range [0, {self.n_labels})")
+            raise BoundsError(f"label index {index} out of range [0, {self.n_labels})")
         return index
 
     def select_rows(self, indices: np.ndarray | Sequence[int]) -> "StructuredTable":
@@ -136,7 +138,7 @@ class StructuredTable:
     def _validated_subset(self, subset: Iterable[int]) -> np.ndarray:
         idx = np.asarray(sorted(set(int(i) for i in subset)), dtype=np.int64)
         if idx.size and (idx.min() < 0 or idx.max() >= self.n_features):
-            raise IndexError(
+            raise BoundsError(
                 f"feature indices must lie in [0, {self.n_features}), got "
                 f"[{idx.min()}, {idx.max()}]"
             )

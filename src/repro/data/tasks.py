@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.table import StructuredTable
+from repro.errors import BoundsError
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,7 @@ class TaskSuite:
             raise ValueError("duplicate label indices within a partition")
         for index in all_indices:
             if not 0 <= index < table.n_labels:
-                raise IndexError(
+                raise BoundsError(
                     f"label index {index} out of range [0, {table.n_labels})"
                 )
         ground_truth = ground_truth or {}

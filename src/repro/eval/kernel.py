@@ -11,6 +11,7 @@ the substitution (LIBSVM RBF-SVM → RBF kernel ridge).
 from __future__ import annotations
 
 import numpy as np
+from repro.errors import NotFittedError
 
 from repro.analysis.numerics import safe_exp
 
@@ -90,7 +91,7 @@ class KernelRidgeClassifier:
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Continuous scores; positive means class 1."""
         if self._x_train is None or self._alpha is None:
-            raise RuntimeError("decision_function called before fit")
+            raise NotFittedError("decision_function called before fit")
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError(f"features must be 2-D, got shape {features.shape}")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from repro.errors import NotFittedError
 
 from repro.eval.metrics import f1_score, roc_auc_score
 
@@ -99,7 +100,7 @@ class LinearSVM:
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Signed margins; positive means class 1."""
         if self.weights is None or self._mean is None or self._std is None:
-            raise RuntimeError("decision_function called before fit")
+            raise NotFittedError("decision_function called before fit")
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError(f"features must be 2-D, got shape {features.shape}")

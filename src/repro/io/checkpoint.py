@@ -43,6 +43,13 @@ from pathlib import Path
 
 import numpy as np
 
+# Canonical homes are repro.errors (the typed taxonomy); re-exported here
+# (``as`` keeps the re-export explicit under --no-implicit-reexport)
+# because checkpointing is where callers have always imported them from.
+from repro.errors import CheckpointCorruptionError as CheckpointCorruptionError
+from repro.errors import CheckpointError as CheckpointError
+from repro.errors import TrainingInterrupted as TrainingInterrupted
+
 logger = logging.getLogger(__name__)
 
 CHECKPOINT_FORMAT_VERSION = 1
@@ -51,29 +58,6 @@ ARRAYS_NAME = "arrays.npz"
 MANIFEST_NAME = "manifest.json"
 
 _CKPT_PATTERN = re.compile(r"^ckpt-(\d{8})$")
-
-
-class CheckpointError(RuntimeError):
-    """Base class for checkpoint persistence failures."""
-
-
-class CheckpointCorruptionError(CheckpointError):
-    """A checkpoint artifact is missing, truncated or checksum-mismatched."""
-
-
-class TrainingInterrupted(RuntimeError):
-    """Raised when a stop request ends training early.
-
-    Carries the iteration the run stopped at and, when checkpointing was
-    active, the path of the final flushed checkpoint so callers (e.g. the
-    CLI's SIGTERM handler) can report where to resume from.
-    """
-
-    def __init__(self, iteration: int, checkpoint_path: Path | None = None) -> None:
-        self.iteration = iteration
-        self.checkpoint_path = checkpoint_path
-        suffix = f"; checkpoint flushed to {checkpoint_path}" if checkpoint_path else ""
-        super().__init__(f"training interrupted at iteration {iteration}{suffix}")
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,10 @@ from typing import Callable, Iterator, TypeVar
 
 import numpy as np
 
+# Canonical home is repro.errors (the typed taxonomy); re-exported here
+# because the serve stack has always imported it from this module.
+from repro.errors import ResilienceError as ResilienceError
+
 __all__ = [
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
@@ -50,10 +54,6 @@ __all__ = [
 ]
 
 T = TypeVar("T")
-
-
-class ResilienceError(RuntimeError):
-    """Base class for typed resilience failures."""
 
 
 class DeadlineExceeded(ResilienceError):

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ArtifactError, DataValidationError, NotFittedError
 from repro.core.config import (
     AgentConfig,
     ClassifierConfig,
@@ -85,7 +86,7 @@ def save_model(model: PAFeat, directory: str | Path) -> Path:
     """
     agent = model.inference_agent()
     if model._n_features is None:
-        raise ValueError("model has no feature-space metadata; fit() it first")
+        raise NotFittedError("model has no feature-space metadata; fit() it first")
     snapshot = agent.save_policy()
     _validate_finite_weights(snapshot, context="refusing to save")
     directory = Path(directory)
@@ -127,7 +128,7 @@ def _validate_finite_weights(snapshot: dict, context: str) -> None:
         if not np.all(np.isfinite(np.asarray(value)))
     ]
     if bad:
-        raise ValueError(
+        raise ArtifactError(
             f"{context}: non-finite (NaN/Inf) values in weights {sorted(bad)}"
         )
 
@@ -145,16 +146,16 @@ def _verify_model_manifest(directory: Path) -> None:
     for name, expected in manifest.get("artifacts", {}).items():
         artifact = directory / name
         if not artifact.exists():
-            raise ValueError(f"model artifact {name} is missing from {directory}")
+            raise ArtifactError(f"model artifact {name} is missing from {directory}")
         size = artifact.stat().st_size
         if size != expected.get("bytes"):
-            raise ValueError(
+            raise ArtifactError(
                 f"model artifact {name} is {size} bytes, manifest expects "
                 f"{expected.get('bytes')} (truncated write?)"
             )
         digest = sha256_file(artifact)
         if digest != expected.get("sha256"):
-            raise ValueError(
+            raise ArtifactError(
                 f"model artifact {name} failed its checksum "
                 f"({digest[:12]}… != {str(expected.get('sha256'))[:12]}…); "
                 f"the file is corrupt — restore it from a backup or retrain"
@@ -173,7 +174,7 @@ def load_model(directory: str | Path) -> PAFeat:
     _verify_model_manifest(directory)
     metadata = json.loads((directory / "config.json").read_text())
     if metadata.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
+        raise ArtifactError(
             f"unsupported model format {metadata.get('format_version')!r}; "
             f"expected {FORMAT_VERSION}"
         )
@@ -264,7 +265,7 @@ def load_suite_csv(directory: str | Path) -> TaskSuite:
         header = next(reader)
         rows = list(reader)
     if len(header) <= n_features:
-        raise ValueError(
+        raise DataValidationError(
             f"CSV has {len(header)} columns but the sidecar declares "
             f"{n_features} features plus at least one label"
         )
@@ -273,7 +274,7 @@ def load_suite_csv(directory: str | Path) -> TaskSuite:
     # failure.  Data rows start at line 2 (line 1 is the header).
     for line_number, row in enumerate(rows, start=2):
         if len(row) != len(header):
-            raise ValueError(
+            raise DataValidationError(
                 f"data.csv row at line {line_number} has {len(row)} columns, "
                 f"expected {len(header)} (ragged or truncated file?)"
             )
@@ -286,7 +287,7 @@ def load_suite_csv(directory: str | Path) -> TaskSuite:
         )
     except ValueError as exc:
         offending = _first_non_numeric_row(rows, n_features)
-        raise ValueError(
+        raise DataValidationError(
             f"data.csv row at line {offending} contains a non-numeric value: {exc}"
         ) from exc
     table = StructuredTable(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from repro.errors import BoundsError, NotFittedError
 
 from repro.eval.metrics import accuracy_score, f1_score, roc_auc_score
 from repro.nn.losses import BCELoss
@@ -114,7 +115,7 @@ class MaskedMLPClassifier:
         matching how the augmentation trained the network.
         """
         if not self._fitted or self._mean is None or self._std is None:
-            raise RuntimeError("predict_proba called before fit")
+            raise NotFittedError("predict_proba called before fit")
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[1] != self.n_features:
             raise ValueError(
@@ -124,7 +125,7 @@ class MaskedMLPClassifier:
         if subset is not None:
             idx = np.asarray(sorted(set(int(i) for i in subset)), dtype=np.int64)
             if idx.size and (idx.min() < 0 or idx.max() >= self.n_features):
-                raise IndexError(
+                raise BoundsError(
                     f"subset indices must lie in [0, {self.n_features})"
                 )
             mask = np.zeros(self.n_features, dtype=bool)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
+from repro.errors import LifecycleError
 
 from repro.analysis.numerics import stable_sigmoid
 from repro.nn.initializers import get_initializer
@@ -130,7 +131,7 @@ class Linear(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
-            raise RuntimeError("backward called before forward(training=True)")
+            raise LifecycleError("backward called before forward(training=True)")
         grad_output = np.atleast_2d(grad_output)
         self.weight.grad += self._x.T @ grad_output
         if self.bias is not None:
@@ -161,7 +162,7 @@ class ReLU(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before forward(training=True)")
+            raise LifecycleError("backward called before forward(training=True)")
         return grad_output * self._mask
 
 
@@ -182,7 +183,7 @@ class Tanh(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
-            raise RuntimeError("backward called before forward(training=True)")
+            raise LifecycleError("backward called before forward(training=True)")
         return grad_output * (1.0 - self._out**2)
 
 
@@ -204,7 +205,7 @@ class Sigmoid(Layer):
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
-            raise RuntimeError("backward called before forward(training=True)")
+            raise LifecycleError("backward called before forward(training=True)")
         return grad_output * self._out * (1.0 - self._out)
 
 

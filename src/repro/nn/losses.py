@@ -8,6 +8,7 @@ training step is ``loss.forward(...); net.backward(loss.backward())``.
 from __future__ import annotations
 
 import numpy as np
+from repro.errors import LifecycleError
 
 from repro.analysis.numerics import safe_log, stable_softmax
 
@@ -45,7 +46,7 @@ class MSELoss(Loss):
 
     def backward(self) -> np.ndarray:
         if self._diff is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         return 2.0 * self._diff / self._diff.size
 
 
@@ -68,7 +69,7 @@ class HuberLoss(Loss):
 
     def backward(self) -> np.ndarray:
         if self._diff is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         clipped = np.clip(self._diff, -self.delta, self.delta)
         return clipped / self._diff.size
 
@@ -91,7 +92,7 @@ class BCELoss(Loss):
 
     def backward(self) -> np.ndarray:
         if self._pred is None or self._target is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         denom = self._pred * (1.0 - self._pred) * self._pred.size
         return (self._pred - self._target) / denom
 
@@ -117,7 +118,7 @@ class CrossEntropyLoss(Loss):
 
     def backward(self) -> np.ndarray:
         if self._probs is None or self._target is None:
-            raise RuntimeError("backward called before forward")
+            raise LifecycleError("backward called before forward")
         grad = self._probs.copy()
         grad[np.arange(len(self._target)), self._target] -= 1.0
         return grad / len(self._target)

@@ -16,6 +16,7 @@ so no sum-tree is needed.  Importance-sampling weights are exposed via
 from __future__ import annotations
 
 import numpy as np
+from repro.errors import LifecycleError
 
 from repro.analysis.numerics import normalized
 from repro.rl.replay import ReplayBuffer
@@ -88,7 +89,7 @@ class PrioritizedReplayBuffer(ReplayBuffer):
     def update_priorities(self, td_errors: np.ndarray) -> None:
         """Refresh the priorities of the most recently sampled batch."""
         if self.last_indices is None:
-            raise RuntimeError("update_priorities called before sample")
+            raise LifecycleError("update_priorities called before sample")
         td_errors = np.abs(np.asarray(td_errors, dtype=np.float64)).reshape(-1)
         if td_errors.shape[0] != self.last_indices.shape[0]:
             raise ValueError(

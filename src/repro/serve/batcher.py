@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
+from repro.errors import LifecycleError, ServeError
 from repro.io.resilience import Deadline, DeadlineExceeded
 
 __all__ = [
@@ -62,7 +63,7 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 
-class BatcherClosed(RuntimeError):
+class BatcherClosed(ServeError):
     """Submit was called on a draining/stopped batcher."""
 
 
@@ -70,11 +71,11 @@ class ServiceUnavailable(BatcherClosed):
     """A queued request was abandoned because the batcher shut down."""
 
 
-class BatcherStalled(RuntimeError):
+class BatcherStalled(ServeError):
     """The watchdog killed a stalled/crashed flush loop holding this request."""
 
 
-class QueueFull(RuntimeError):
+class QueueFull(ServeError):
     """Admission control shed this request: the bounded queue is full.
 
     Built via :func:`queue_full_error` (a plain message-only exception plus
@@ -175,7 +176,7 @@ class MicroBatcher:
     async def start(self) -> None:
         """Create the queue and start the worker on the running loop."""
         if self._worker is not None:
-            raise RuntimeError("batcher is already started")
+            raise LifecycleError("batcher is already started")
         self._closing = False
         self._queue = asyncio.Queue()
         self._inflight = []
@@ -244,7 +245,7 @@ class MicroBatcher:
         if self._closing:
             raise BatcherClosed("batcher is draining; request rejected")
         if self._queue is None or self._worker is None:
-            raise RuntimeError("batcher is not started; call start() first")
+            raise LifecycleError("batcher is not started; call start() first")
         if deadline is not None and deadline.expired:
             if self._metrics is not None:
                 self._metrics.observe_deadline_exceeded()
@@ -347,7 +348,7 @@ class MicroBatcher:
         try:
             results = self._handler(payloads)
             if len(results) != len(batch):
-                raise RuntimeError(
+                raise ServeError(
                     f"batch handler returned {len(results)} results for "
                     f"{len(batch)} payloads"
                 )

@@ -62,6 +62,7 @@ import numpy as np
 from repro.analysis import tsan
 from repro.analysis.tsan import TrackedLock
 from repro.data.stats import pearson_representation
+from repro.errors import ServeError
 
 if TYPE_CHECKING:
     from repro.core.pafeat import PAFeat
@@ -72,7 +73,7 @@ logger = logging.getLogger(__name__)
 MAX_SKIP_HISTORY = 50
 
 
-class RegistryError(RuntimeError):
+class RegistryError(ServeError):
     """No servable model version could be loaded from the registry root."""
 
 

@@ -65,6 +65,7 @@ from typing import Any, Callable, NamedTuple
 import numpy as np
 
 from repro.analysis import tsan
+from repro.errors import LifecycleError, ServeError
 from repro.io.lifecycle import GracefulShutdown
 from repro.io.resilience import (
     BREAKER_CLOSED,
@@ -112,7 +113,7 @@ _DROPPED_CONNECTION_ERRORS = (
 )
 
 
-class _BadRequest(ValueError):
+class _BadRequest(ServeError, ValueError):
     """Client-side request problem → HTTP 400."""
 
 
@@ -215,7 +216,7 @@ class SelectionServer:
         ``[tool.repolint.concurrency]`` allow-blocking list.
         """
         if self._server is not None:
-            raise RuntimeError("server is already started")
+            raise LifecycleError("server is already started")
         tsan.register_loop()
         if not self.registry.loaded:
             retry = Retry(
@@ -256,7 +257,7 @@ class SelectionServer:
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` — resolves ``port=0`` to the real one."""
         if self._server is None or not self._server.sockets:
-            raise RuntimeError("server is not started")
+            raise LifecycleError("server is not started")
         host, port = self._server.sockets[0].getsockname()[:2]
         return str(host), int(port)
 
@@ -350,6 +351,7 @@ class SelectionServer:
             writer.close()
             return
         except Exception as exc:  # never kill the accept loop on one request
+            logger.exception("unhandled error while serving a request")
             self.metrics.observe_error()
             response = _json_response(500, {"error": str(exc)})
         status, content_type, body, extra_headers = response
@@ -462,6 +464,7 @@ class SelectionServer:
         try:
             swapped = await loop.run_in_executor(None, self.registry.refresh)
         except Exception as exc:
+            logger.exception("model reload failed")
             self._reload_breaker.record_failure()
             self.metrics.observe_error()
             return _json_response(

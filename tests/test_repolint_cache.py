@@ -2,15 +2,23 @@
 
 The performance satellite's correctness story: a shared parse must not
 change any verdict, a stale or corrupt result cache must only ever cost a
-recompute, and ``# repolint: disable-file=CODE`` must silence exactly the
-named rules — never its neighbours.
+recompute, ``# repolint: disable-file=CODE`` must silence exactly the
+named rules — never its neighbours — and neither the config-fingerprint
+cache key nor the ``--jobs`` process pool may change a single verdict.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
-from tools.repolint.cache import ResultCache, SourceCache, content_sha
+from tools.repolint.cache import (
+    ResultCache,
+    SourceCache,
+    config_fingerprint,
+    content_sha,
+)
+from tools.repolint.config import RepolintConfig
 from tools.repolint.engine import (
     analyze_paths,
     analyze_source,
@@ -188,3 +196,183 @@ def test_per_line_disable_does_not_match_disable_file():
         "random.seed(0)\n"
     )
     assert "RNG102" in codes(analyze_source(source, Path("pkg/mod.py")))
+
+
+# ---------------------------------------------------------------------------
+# Config fingerprint (the --changed + ResultCache interaction fix)
+# ---------------------------------------------------------------------------
+
+def test_config_fingerprint_is_stable_and_semantic():
+    base = RepolintConfig()
+    assert config_fingerprint(base) == config_fingerprint(RepolintConfig())
+    changed = replace(base, hot_functions=frozenset({"repro.core.env.step"}))
+    assert config_fingerprint(changed) != config_fingerprint(base)
+    assert config_fingerprint(None) == "no-config"
+    assert config_fingerprint(None) != config_fingerprint(base)
+
+
+def test_config_fingerprint_ignores_toml_ordering():
+    # Reordering entries of a mapping/set field must not invalidate the
+    # cache — only a semantic change should.
+    one = replace(RepolintConfig(), layer_ranks={"data": 0, "core": 4})
+    other = replace(RepolintConfig(), layer_ranks={"core": 4, "data": 0})
+    assert config_fingerprint(one) == config_fingerprint(other)
+
+
+def test_result_cache_ignores_entries_from_a_different_config(tmp_path):
+    """The --changed fast path must not replay findings computed under an
+    older pyproject contract: same file sha, different config → miss."""
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    cache_path = tmp_path / "cache.json"
+
+    first = ResultCache(cache_path, fingerprint="contract-v1")
+    analyze_paths([target], result_cache=first)
+    assert first.misses == 1
+
+    same = ResultCache(cache_path, fingerprint="contract-v1")
+    analyze_paths([target], result_cache=same)
+    assert same.hits == 1 and same.misses == 0
+
+    edited = ResultCache(cache_path, fingerprint="contract-v2")
+    findings = analyze_paths([target], result_cache=edited)
+    assert edited.hits == 0 and edited.misses == 1
+    assert findings  # recomputed under the new contract
+
+    # And the save re-keyed the cache to the new fingerprint.
+    rekeyed = ResultCache(cache_path, fingerprint="contract-v2")
+    analyze_paths([target], result_cache=rekeyed)
+    assert rekeyed.hits == 1
+
+
+def test_for_repo_keys_cache_to_the_resolved_config(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repolint]\npackage = \"repro\"\n", encoding="utf-8"
+    )
+    target = write_module(tmp_path, "mod.py", DIRTY)
+    analyze_paths([target], result_cache=ResultCache.for_repo(tmp_path))
+
+    warm = ResultCache.for_repo(tmp_path)
+    analyze_paths([target], result_cache=warm)
+    assert warm.hits == 1
+
+    # A contract edit in pyproject.toml empties the cache wholesale.
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repolint]\npackage = \"repro\"\n"
+        "[tool.repolint.hotpath]\nfunctions = [\"repro.core.env.step\"]\n",
+        encoding="utf-8",
+    )
+    cold = ResultCache.for_repo(tmp_path)
+    analyze_paths([target], result_cache=cold)
+    assert cold.hits == 0 and cold.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# --jobs process pool
+# ---------------------------------------------------------------------------
+
+def test_parallel_jobs_matches_serial(tmp_path):
+    targets = [
+        write_module(tmp_path, "a.py", DIRTY),
+        write_module(tmp_path, "b.py", "import numpy as np\n\n\ndef f(x):\n    return np.exp(x) / np.sum(np.exp(x))\n"),
+        write_module(tmp_path, "c.py", "X = 1\n"),
+        write_module(tmp_path, "d.py", "def broken(:\n"),
+    ]
+    serial = analyze_paths(targets, jobs=1)
+    parallel = analyze_paths(targets, jobs=4)
+    assert [(f.path, f.line, f.code, f.message) for f in serial] == [
+        (f.path, f.line, f.code, f.message) for f in parallel
+    ]
+    assert {"RNG102", "PARSE001"} <= set(codes(serial))
+
+
+def test_parallel_jobs_populates_the_result_cache(tmp_path):
+    targets = [
+        write_module(tmp_path, "a.py", DIRTY),
+        write_module(tmp_path, "b.py", "X = 1\n"),
+    ]
+    cache_path = tmp_path / "cache.json"
+    analyze_paths(targets, result_cache=ResultCache(cache_path), jobs=4)
+
+    warm = ResultCache(cache_path)
+    replayed = analyze_paths(targets, result_cache=warm, jobs=4)
+    assert warm.hits == 2 and warm.misses == 0
+    assert codes(replayed) == codes(analyze_paths(targets, jobs=1))
+
+
+def test_ad_hoc_rules_fall_back_to_the_serial_path(tmp_path):
+    """Workers rebuild rules by registry code, so a caller-supplied rule
+    instance must route through the in-process loop (and still run)."""
+    from tools.repolint.engine import Finding, Rule
+
+    class EveryFileRule(Rule):
+        code = "TEST999"
+        name = "every-file"
+
+        def check(self, ctx):
+            yield self.finding(ctx, ctx.tree, "saw this file")
+
+    targets = [
+        write_module(tmp_path, "a.py", "X = 1\n"),
+        write_module(tmp_path, "b.py", "Y = 2\n"),
+    ]
+    findings = analyze_paths(targets, rules=[EveryFileRule()], jobs=4)
+    assert codes(findings) == ["TEST999", "TEST999"]
+
+
+# ---------------------------------------------------------------------------
+# LINT001: unused suppressions
+# ---------------------------------------------------------------------------
+
+def test_stale_per_line_pragma_is_flagged():
+    source = "import random\nX = 1  # repolint: disable=RNG102\n"
+    findings = analyze_source(source, Path("pkg/mod.py"))
+    assert codes(findings) == ["LINT001"]
+    assert findings[0].line == 2
+    assert "RNG102" in findings[0].message
+
+
+def test_used_pragma_is_not_flagged():
+    source = "import random\nrandom.seed(0)  # repolint: disable=RNG102\n"
+    assert analyze_source(source, Path("pkg/mod.py")) == []
+
+
+def test_blanket_all_pragma_is_never_flagged():
+    source = "X = 1  # repolint: disable=all\n"
+    assert analyze_source(source, Path("pkg/mod.py")) == []
+    assert analyze_source(
+        "# repolint: disable-file=all\nX = 1\n", Path("pkg/mod.py")
+    ) == []
+
+
+def test_stale_disable_file_pragma_is_flagged_at_the_pragma_line():
+    source = "'''doc'''\n# repolint: disable-file=RNG102\nX = 1\n"
+    findings = analyze_source(source, Path("pkg/mod.py"))
+    assert codes(findings) == ["LINT001"]
+    assert findings[0].line == 2
+    assert "fires nowhere" in findings[0].message
+
+
+def test_pragma_for_a_rule_that_did_not_run_is_not_flagged():
+    # --select RNG101 must not claim the RNG102 pragma is stale: the rule
+    # it names never ran, so staleness is unprovable.
+    from tools.repolint.rules import all_rules
+
+    source = "import random\nrandom.seed(0)  # repolint: disable=RNG102\n"
+    subset = [r for r in all_rules() if r.code in {"RNG101", "LINT001"}]
+    assert analyze_source(source, Path("pkg/mod.py"), rules=subset) == []
+
+
+def test_program_rule_pragma_staleness_needs_the_program_pass():
+    # A per-file-only pass cannot judge a PAR602 pragma; with a config
+    # (program rules running) a stale one is flagged.
+    stale = "STATE = {}\n\n\ndef f():  # repolint: disable=PAR602\n    return 1\n"
+    assert analyze_source(stale, Path("pkg/mod.py")) == []
+    findings = analyze_source(
+        stale, Path("pkg/mod.py"), module="pkg.mod", config=RepolintConfig(package="pkg")
+    )
+    assert "LINT001" in codes(findings)
+
+
+def test_lint001_is_itself_suppressible():
+    source = "import random\nX = 1  # repolint: disable=RNG102,LINT001\n"
+    assert analyze_source(source, Path("pkg/mod.py")) == []

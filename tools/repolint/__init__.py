@@ -26,13 +26,33 @@ PAR601   rollout-shared-mutation     unsanctioned shared-state writes reachable
 PAR602   module-state-mutation       functions mutating module-level state
 HOT701   hotpath-allocation          per-step numpy allocations / loop growth in
                                      functions tagged hot
+RES801   unbounded-serve-io          unbounded socket/file I/O in resilience-
+                                     scoped packages
+ASYNC901 blocking-call-on-event-loop blocking calls reachable from event-loop
+                                     coroutines
+ASYNC902 unlocked-cross-context-state cross-context attribute access with an
+                                     empty lockset
+ASYNC903 await-under-sync-lock       await inside a synchronous-lock section
+ASYNC904 toctou-across-await         check-then-act races across awaits
+ASYNC905 orphaned-task-or-thread     spawned task/thread handles discarded
+EXC1001  swallowed-exception         broad except with no re-raise/log/metric
+EXC1002  boundary-escape             unsanctioned types escaping a declared
+                                     error boundary
+EXC1003  dead-handler                except clauses the guarded body cannot raise
+EXC1004  untyped-raise               raise of bare Exception/RuntimeError outside
+                                     the typed taxonomy
+EXC1005  context-loss                new exception raised in an except block
+                                     without ``from``
+LINT001  unused-suppression          ``disable=`` pragmas that no longer
+                                     silence any finding
 =======  ==========================  ==================================================
 
 Run ``python -m tools.repolint src/`` (or ``--changed`` for a fast path over
-the git-modified set), pick an output with ``--format={text,json,sarif}``,
-and dump the layer graph + effect table with
-``python -m tools.repolint report``.  Suppress a single line with
-``# repolint: disable=CODE`` and add rules in ``tools/repolint/rules/``.
+the git-modified set), fan per-file analysis over a process pool with
+``--jobs N``, pick an output with ``--format={text,json,sarif}``, and dump
+the layer graph + effect table with ``python -m tools.repolint report``.
+Suppress a single line with ``# repolint: disable=CODE`` and add rules in
+``tools/repolint/rules/``.
 """
 
 from tools.repolint.config import RepolintConfig, load_config

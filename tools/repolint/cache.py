@@ -16,6 +16,14 @@ Two independent layers, both deliberately simple:
   other file in the package, so they are always recomputed.  Cached
   findings are stored post-suppression, so replaying them needs no
   source access.
+
+The resolved :class:`~tools.repolint.config.RepolintConfig` is hashed
+into the cache (:func:`config_fingerprint`, stored next to the schema
+version): findings depend on the configured contracts, so editing
+``pyproject.toml`` — a new hot-path function, a different boundary
+sanction — must invalidate every entry even though no ``.py`` content
+changed.  A fingerprint mismatch is treated exactly like a schema
+mismatch: the cache loads empty and the next save rewrites it.
 """
 
 from __future__ import annotations
@@ -26,17 +34,49 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from tools.repolint.config import RepolintConfig
 from tools.repolint.engine import Finding
 
 CACHE_FILE_NAME = ".repolint-cache.json"
 
 #: Bump when the cached payload shape (or anything that invalidates old
 #: entries wholesale, like a rule-set change) needs a clean slate.
-CACHE_SCHEMA_VERSION = 1
+#: v2: config fingerprint added to the payload; cached per-file findings
+#: may now include LINT001 unused-suppression entries.
+CACHE_SCHEMA_VERSION = 2
 
 
 def content_sha(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: RepolintConfig | None) -> str:
+    """Stable digest of a resolved config, independent of TOML ordering.
+
+    Mappings and sets are canonicalized (sorted) before hashing so that
+    reordering entries in ``pyproject.toml`` does not invalidate the
+    cache, while any *semantic* change — a new rule scope, a different
+    sanction list — does.  ``None`` (no config resolved) hashes to a
+    distinct constant so configless runs never share entries with
+    configured ones.
+    """
+    if config is None:
+        return "no-config"
+
+    def canonical(value: object) -> object:
+        if isinstance(value, dict):
+            return sorted((str(k), canonical(v)) for k, v in value.items())
+        if isinstance(value, (frozenset, set)):
+            return sorted(repr(item) for item in value)
+        if isinstance(value, (list, tuple)):
+            return [canonical(item) for item in value]
+        return value
+
+    parts = [
+        f"{name}={canonical(value)!r}"
+        for name, value in sorted(vars(config).items())
+    ]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -105,12 +145,16 @@ def _finding_from_payload(payload: dict[str, object]) -> Finding:
 class ResultCache:
     """SHA-keyed per-file findings, persisted as JSON at the repo root.
 
-    Corrupt or schema-mismatched cache files are treated as empty — the
-    cache can only ever cost a recompute, never wrong results.
+    Corrupt, schema-mismatched or config-mismatched cache files are
+    treated as empty — the cache can only ever cost a recompute, never
+    wrong results.  ``fingerprint`` is the :func:`config_fingerprint` of
+    the run's resolved config; entries written under a different
+    fingerprint are never replayed.
     """
 
-    def __init__(self, cache_path: Path) -> None:
+    def __init__(self, cache_path: Path, fingerprint: str = "") -> None:
         self.cache_path = cache_path
+        self.fingerprint = fingerprint
         self._entries: dict[str, dict[str, object]] = {}
         self._dirty = False
         self.hits = 0
@@ -122,18 +166,27 @@ class ResultCache:
         if (
             isinstance(raw, dict)
             and raw.get("version") == CACHE_SCHEMA_VERSION
+            and raw.get("config", "") == fingerprint
             and isinstance(raw.get("files"), dict)
         ):
             self._entries = raw["files"]
 
     @classmethod
-    def for_repo(cls, anchor: Path) -> "ResultCache":
-        """Cache co-located with the pyproject that owns ``anchor``."""
-        from tools.repolint.config import find_pyproject
+    def for_repo(
+        cls, anchor: Path, config: RepolintConfig | None = None
+    ) -> "ResultCache":
+        """Cache co-located with the pyproject that owns ``anchor``.
 
+        Resolves the project config (when not supplied) so the cache is
+        keyed to the same contracts ``analyze_paths`` will lint against.
+        """
+        from tools.repolint.config import find_pyproject, load_config
+
+        if config is None:
+            config = load_config(anchor)
         pyproject = find_pyproject(anchor)
         root = pyproject.parent if pyproject is not None else Path.cwd()
-        return cls(root / CACHE_FILE_NAME)
+        return cls(root / CACHE_FILE_NAME, fingerprint=config_fingerprint(config))
 
     def _key(self, path: Path) -> str:
         return str(path.resolve())
@@ -167,7 +220,11 @@ class ResultCache:
         """Write back when anything changed; I/O errors are non-fatal."""
         if not self._dirty:
             return
-        payload = {"version": CACHE_SCHEMA_VERSION, "files": self._entries}
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "config": self.fingerprint,
+            "files": self._entries,
+        }
         try:
             self.cache_path.write_text(
                 json.dumps(payload, sort_keys=True), encoding="utf-8"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -105,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-pool size for per-file analysis "
+            "(default: min(8, CPU count); 1 disables the pool)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -239,14 +250,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     use_cache = args.cache if args.cache is not None else args.changed
     result_cache = None
     # Cached findings reflect the full rule set; a --select run must not
-    # read (or poison) them.
+    # read (or poison) them.  for_repo hashes the resolved config into the
+    # cache, so a pyproject contract edit invalidates every entry.
     if use_cache and targets and not args.select:
         from tools.repolint.cache import ResultCache
 
         result_cache = ResultCache.for_repo(Path(targets[0]))
 
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else min(8, os.cpu_count() or 1)
+
     findings: list[Finding] = analyze_paths(
-        targets, rules=rules, result_cache=result_cache
+        targets, rules=rules, result_cache=result_cache, jobs=jobs
     )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     rendered = render_findings(findings, args.format)

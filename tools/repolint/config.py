@@ -42,6 +42,22 @@ class RepolintConfig:
     #: Concurrency sync points: functions (ASYNC904) or ``Class.attr``
     #: state keys (ASYNC902) whose interleavings are documented as safe.
     concurrency_sync_points: frozenset[str] = frozenset()
+    #: Packages in scope for the EXC10xx exception-flow rules; empty means
+    #: the whole program (convenient for hermetic tests).
+    exception_packages: tuple[str, ...] = ()
+    #: Error boundaries: function qualname -> exception types sanctioned to
+    #: escape it.  An empty list means *nothing* may escape (the function
+    #: must convert every failure, e.g. a serve handler mapping errors to
+    #: structured HTTP responses).
+    exception_boundaries: Mapping[str, tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    #: Call spellings that count as observing a failure inside an except
+    #: block (logging/metrics), matched by dotted prefix or final segment.
+    exception_log_functions: tuple[str, ...] = ()
+    #: Root of the sanctioned error taxonomy (EXC1004 hints, certificate
+    #: adoption stats), e.g. ``repro.errors.ReproError``.
+    exception_taxonomy_root: str = ""
 
     @property
     def top_rank(self) -> int:
@@ -68,6 +84,7 @@ class RepolintConfig:
         hotpath = data.get("hotpath", {})
         resilience = data.get("resilience", {})
         concurrency = data.get("concurrency", {})
+        exceptions = data.get("exceptions", {})
         return cls(
             package=str(data.get("package", "repro")),
             src_root=str(data.get("src-root", "src")),
@@ -95,6 +112,19 @@ class RepolintConfig:
             concurrency_sync_points=frozenset(
                 str(n) for n in concurrency.get("sync-points", [])
             ),
+            exception_packages=tuple(
+                str(n) for n in exceptions.get("packages", [])
+            ),
+            exception_boundaries={
+                str(boundary): tuple(str(t) for t in types)
+                for boundary, types in dict(
+                    exceptions.get("boundaries", {})
+                ).items()
+            },
+            exception_log_functions=tuple(
+                str(n) for n in exceptions.get("log-functions", [])
+            ),
+            exception_taxonomy_root=str(exceptions.get("taxonomy-root", "")),
         )
 
 

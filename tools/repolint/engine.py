@@ -272,6 +272,17 @@ class ProgramContext:
 
         return build_concurrency_index(self.index, self.call_graph, self.config)
 
+    @cached_property
+    def exceptions(self):  # -> ExceptionIndex
+        from tools.repolint.graphs.exceptions import build_exception_index
+
+        return build_exception_index(
+            self.index,
+            self.call_graph,
+            self.config,
+            module_trees={m: f.tree for m, f in self.files.items()},
+        )
+
     def file_for(self, module: str) -> ProgramFile | None:
         return self.files.get(module)
 
@@ -357,21 +368,109 @@ def _filter_suppressed(
     findings: Iterable[Finding],
     suppressed: Mapping[int, set[str]],
     file_suppressed: set[str] | None = None,
+    used_lines: set[tuple[int, str]] | None = None,
+    used_file: set[str] | None = None,
 ) -> list[Finding]:
+    """Drop suppressed findings, optionally recording which pragmas fired.
+
+    ``used_lines`` collects ``(line, code)`` pairs for per-line pragmas
+    that actually silenced something and ``used_file`` the file-level
+    codes that did — the raw material for the LINT001 stale-suppression
+    check.  Only *named* codes are recorded; a blanket ``all`` pragma is
+    deliberate and never reported stale.
+    """
     file_codes = file_suppressed or set()
-    return [
-        finding
-        for finding in findings
-        if finding.code not in file_codes
-        and "all" not in file_codes
-        and not (
-            finding.line in suppressed
-            and (
-                finding.code in suppressed[finding.line]
-                or "all" in suppressed[finding.line]
-            )
-        )
-    ]
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.code in file_codes or "all" in file_codes:
+            if used_file is not None and finding.code in file_codes:
+                used_file.add(finding.code)
+            continue
+        line_codes = suppressed.get(finding.line, set())
+        if finding.code in line_codes or "all" in line_codes:
+            if used_lines is not None and finding.code in line_codes:
+                used_lines.add((finding.line, finding.code))
+            continue
+        kept.append(finding)
+    return kept
+
+
+#: Codes a stale-suppression check never flags: ``all`` is a deliberate
+#: blanket, and flagging LINT001's own pragma would be self-referential.
+_NEVER_STALE = frozenset({"all", "LINT001"})
+
+
+def _file_pragma_lines(source_lines: Sequence[str]) -> dict[str, int]:
+    """First line carrying each ``disable-file=CODE`` pragma, per code."""
+    lines: dict[str, int] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = FILE_SUPPRESS_PATTERN.search(line)
+        if match is None:
+            continue
+        for code in match.group(1).split(","):
+            code = code.strip()
+            if code and code not in lines:
+                lines[code] = number
+    return lines
+
+
+def _unused_suppression_findings(
+    path: Path | str,
+    source_lines: Sequence[str],
+    suppressed: Mapping[int, set[str]],
+    file_suppressed: set[str],
+    used_lines: set[tuple[int, str]],
+    used_file: set[str],
+    checkable: set[str],
+) -> list[Finding]:
+    """LINT001 findings for pragmas that silenced nothing this run.
+
+    A pragma is only provably stale when the rule it names actually ran:
+    ``checkable`` is the set of codes checked against this file in the
+    current phase, so a ``--select RNG101`` run never flags a dormant
+    ``RES801`` pragma, and per-file phases never flag program-rule
+    pragmas (those are judged after the program pass).
+    """
+    findings: list[Finding] = []
+    hint = "delete the stale pragma (or un-fix whatever it was hiding)"
+    for line in sorted(suppressed):
+        for code in sorted(suppressed[line]):
+            if code in _NEVER_STALE or code not in checkable:
+                continue
+            if (line, code) not in used_lines:
+                findings.append(
+                    Finding(
+                        path=str(path),
+                        line=line,
+                        col=1,
+                        code="LINT001",
+                        message=(
+                            f"unused suppression: no {code} finding is "
+                            "silenced on this line"
+                        ),
+                        hint=hint,
+                    )
+                )
+    if file_suppressed:
+        pragma_lines = _file_pragma_lines(source_lines)
+        for code in sorted(file_suppressed):
+            if code in _NEVER_STALE or code not in checkable:
+                continue
+            if code not in used_file:
+                findings.append(
+                    Finding(
+                        path=str(path),
+                        line=pragma_lines.get(code, 1),
+                        col=1,
+                        code="LINT001",
+                        message=(
+                            f"unused suppression: {code} fires nowhere "
+                            "in this file"
+                        ),
+                        hint=hint,
+                    )
+                )
+    return findings
 
 
 def analyze_source(
@@ -437,11 +536,34 @@ def analyze_source(
                     for finding in rule.check_program(program)
                     if finding.path in target
                 )
+    suppressed = suppressed_codes_by_line(source_lines)
+    file_suppressed = file_suppressed_codes(source_lines)
+    used_lines: set[tuple[int, str]] = set()
+    used_file: set[str] = set()
     kept = _filter_suppressed(
-        findings,
-        suppressed_codes_by_line(source_lines),
-        file_suppressed_codes(source_lines),
+        findings, suppressed, file_suppressed, used_lines, used_file
     )
+    if any(rule.code == "LINT001" for rule in rules):
+        checkable = {
+            rule.code for rule in rules if not isinstance(rule, ProgramRule)
+        }
+        if config is not None:
+            # Program rules ran over this blob too, so their pragmas are
+            # judged here as well.
+            checkable |= {
+                rule.code for rule in rules if isinstance(rule, ProgramRule)
+            }
+        stale = _unused_suppression_findings(
+            path,
+            source_lines,
+            suppressed,
+            file_suppressed,
+            used_lines,
+            used_file,
+            checkable,
+        )
+        # LINT001 findings honour suppressions themselves (disable=LINT001).
+        kept.extend(_filter_suppressed(stale, suppressed, file_suppressed))
     return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
 
 
@@ -516,12 +638,45 @@ def build_program(
     return ProgramContext.from_package(package_dir, config, source_cache)
 
 
+def _analyze_file_job(task: tuple[str, tuple[str, ...]]) -> list[Finding]:
+    """Process-pool worker: lint one file with the named registry rules.
+
+    Rule *instances* don't cross process boundaries; rule *codes* do, and
+    every registered rule is stateless, so the worker rebuilds the exact
+    per-file rule subset from the registry.  :class:`Finding` is a frozen
+    dataclass of primitives, so results pickle straight back.
+    """
+    path, codes = task
+    wanted = set(codes)
+    rules = [
+        rule
+        for rule in default_rules()
+        if rule.code in wanted and not isinstance(rule, ProgramRule)
+    ]
+    return analyze_file(Path(path), rules=rules)
+
+
+def _registry_codes_for(rules: Sequence[Rule]) -> tuple[str, ...] | None:
+    """Rule codes when every rule is a registered class, else ``None``.
+
+    The parallel path reconstructs rules by code inside each worker, which
+    is only faithful for registry rules — a caller-supplied ad-hoc rule
+    instance forces the serial path.
+    """
+    from tools.repolint.rules import RULE_CLASSES
+
+    if all(type(rule) in RULE_CLASSES for rule in rules):
+        return tuple(rule.code for rule in rules)
+    return None
+
+
 def analyze_paths(
     paths: Iterable[Path | str],
     rules: Sequence[Rule] | None = None,
     config: RepolintConfig | None = None,
     source_cache: "SourceCache | None" = None,
     result_cache: "ResultCache | None" = None,
+    jobs: int = 1,
 ) -> list[Finding]:
     """Per-file rules over every target, plus program rules over the package.
 
@@ -534,6 +689,13 @@ def analyze_paths(
     parsed at most once per run.  With a :class:`ResultCache`, per-file
     analysis is skipped outright for files whose content hash matches the
     previous run; program-pass findings are always recomputed.
+
+    ``jobs > 1`` fans the per-file misses out over a process pool (the
+    program pass stays in-process — it is one whole-package computation).
+    Workers rebuild rules by code from the registry, so ad-hoc rule
+    instances, tiny batches, or an unavailable ``multiprocessing`` fall
+    back to the serial loop; output is identical either way, in target
+    order.
     """
     from tools.repolint.cache import SourceCache
 
@@ -545,6 +707,8 @@ def analyze_paths(
     program_rules = [rule for rule in rules if isinstance(rule, ProgramRule)]
     findings: list[Finding] = []
     targets = list(iter_python_files(paths))
+    per_file: dict[Path, list[Finding]] = {}
+    pending: list[tuple[Path, str | None]] = []
     for path in targets:
         cached_sha: str | None = None
         if result_cache is not None:
@@ -555,14 +719,47 @@ def analyze_paths(
             if cached_sha is not None:
                 cached = result_cache.lookup(path, cached_sha)
                 if cached is not None:
-                    findings.extend(cached)
+                    per_file[path] = cached
                     continue
-        file_findings = analyze_file(
-            path, rules=file_rules, source_cache=source_cache
-        )
-        findings.extend(file_findings)
-        if result_cache is not None and cached_sha is not None:
-            result_cache.store(path, cached_sha, file_findings)
+        pending.append((path, cached_sha))
+
+    pool_results: list[list[Finding]] | None = None
+    if jobs > 1 and len(pending) > 1:
+        codes = _registry_codes_for(file_rules)
+        if codes is not None:
+            import concurrent.futures
+
+            workers = min(jobs, len(pending))
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                ) as pool:
+                    pool_results = list(
+                        pool.map(
+                            _analyze_file_job,
+                            [(str(path), codes) for path, _ in pending],
+                        )
+                    )
+            except (OSError, NotImplementedError, ImportError):
+                # Sandboxed/embedded interpreters without working
+                # multiprocessing primitives: serial is always correct.
+                pool_results = None
+    if pool_results is not None:
+        for (path, cached_sha), file_findings in zip(pending, pool_results):
+            per_file[path] = file_findings
+            if result_cache is not None and cached_sha is not None:
+                result_cache.store(path, cached_sha, file_findings)
+    else:
+        for path, cached_sha in pending:
+            file_findings = analyze_file(
+                path, rules=file_rules, source_cache=source_cache
+            )
+            per_file[path] = file_findings
+            if result_cache is not None and cached_sha is not None:
+                result_cache.store(path, cached_sha, file_findings)
+    for path in targets:
+        findings.extend(per_file.get(path, []))
+
     if program_rules and targets:
         located = locate_package_dir(targets[0], config=config)
         target_set = {path.resolve() for path in targets}
@@ -579,17 +776,42 @@ def analyze_paths(
                 program_findings: list[Finding] = []
                 for rule in program_rules:
                     program_findings.extend(rule.check_program(program))
+                by_path: dict[str, list[Finding]] = {}
                 for finding in program_findings:
-                    file = in_program.get(finding.path)
-                    if file is None:
-                        continue
+                    if finding.path in in_program:
+                        by_path.setdefault(finding.path, []).append(finding)
+                lint_enabled = any(rule.code == "LINT001" for rule in rules)
+                program_codes = {rule.code for rule in program_rules}
+                for path_str, file in in_program.items():
+                    suppressed = suppressed_codes_by_line(file.source_lines)
+                    file_suppressed = file_suppressed_codes(file.source_lines)
+                    used_lines: set[tuple[int, str]] = set()
+                    used_file: set[str] = set()
                     findings.extend(
                         _filter_suppressed(
-                            [finding],
-                            suppressed_codes_by_line(file.source_lines),
-                            file_suppressed_codes(file.source_lines),
+                            by_path.get(path_str, []),
+                            suppressed,
+                            file_suppressed,
+                            used_lines,
+                            used_file,
                         )
                     )
+                    if lint_enabled:
+                        # Program-rule pragmas can only be judged after the
+                        # program pass; per-file codes were judged (or
+                        # cached) in the per-file phase.
+                        stale = _unused_suppression_findings(
+                            file.path,
+                            file.source_lines,
+                            suppressed,
+                            file_suppressed,
+                            used_lines,
+                            used_file,
+                            program_codes,
+                        )
+                        findings.extend(
+                            _filter_suppressed(stale, suppressed, file_suppressed)
+                        )
     if result_cache is not None:
         result_cache.save()
     return findings

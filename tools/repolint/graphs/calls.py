@@ -345,6 +345,12 @@ def _collect_definitions(index: ProgramIndex, module: str, tree: ast.Module) -> 
                 if cls is not None and cls == prefix:
                     index.classes[cls].methods.setdefault(child.name, qualname)
                 visit(child, qualname, None, qualname)
+            elif isinstance(child, ast.stmt):
+                # Recurse through structural statements (if/try/with/for):
+                # a def behind ``if stop_check is not None:`` is still a
+                # definition of the enclosing scope, and missing it makes
+                # its raises/effects invisible to every whole-program pass.
+                visit(child, prefix, cls, parent)
 
     visit(tree, module, None, None)
 

@@ -149,6 +149,138 @@ def _concurrency_certificate(program: ProgramContext) -> dict[str, Any]:
     }
 
 
+def _exception_certificate(program: ProgramContext) -> dict[str, Any]:
+    """The EXC10xx verdict as a diffable artifact.
+
+    Per declared boundary: whether it exists, its sanctioned escapes, and
+    the full inferred escape set with each type's sanction status (so a
+    reviewer sees what a boundary *actually* leaks, not just violations).
+    Plus every broad handler in the scoped packages with its disposition
+    (re-raises / replaces / observes / swallows), taxonomy-adoption counts
+    over all raise sites, and the findings that survive the configured
+    sanctions.  ``clean`` is True exactly when no EXC10xx finding
+    survives — the condition CI gates on.
+    """
+    from tools.repolint.graphs.exceptions import UNKNOWN
+    from tools.repolint.rules.exceptions import (
+        BoundaryEscapeRule,
+        ContextLossRule,
+        DeadHandlerRule,
+        SwallowedExceptionRule,
+        UntypedRaiseRule,
+    )
+
+    config = program.config
+    exceptions = program.exceptions
+    resolver = exceptions.resolver
+    packages = tuple(sorted(config.exception_packages))
+
+    def in_scope(module: str) -> bool:
+        if not packages:
+            return True
+        return any(
+            module == package or module.startswith(package + ".")
+            for package in packages
+        )
+
+    boundaries: dict[str, Any] = {}
+    for boundary, sanctioned in sorted(config.exception_boundaries.items()):
+        declared = boundary in program.index.functions
+        escapes = []
+        for exc_type in sorted(exceptions.escape_set(boundary)):
+            is_failure = exc_type != UNKNOWN and resolver.is_exception_family(
+                exc_type
+            )
+            escapes.append(
+                {
+                    "type": exc_type,
+                    "sanctioned": any(
+                        resolver.is_subtype(exc_type, s) for s in sanctioned
+                    ),
+                    # Non-Exception control flow (CancelledError, SystemExit)
+                    # and UNKNOWN are reported but never violations.
+                    "failure": is_failure,
+                }
+            )
+        boundaries[boundary] = {
+            "declared": declared,
+            "sanctioned": list(sanctioned),
+            "escapes": escapes,
+        }
+
+    broad_handlers = []
+    for qualname in sorted(exceptions.functions):
+        facts = exceptions.functions[qualname]
+        if not in_scope(facts.module):
+            continue
+        for region in facts.tries.values():
+            for clause in region.clauses:
+                if not clause.broad:
+                    continue
+                broad_handlers.append(
+                    {
+                        "function": qualname,
+                        "line": clause.line,
+                        "catches": clause.spelling,
+                        "reraises": clause.reraises,
+                        "replaces": clause.raises_new,
+                        "observes": clause.observes,
+                        "swallows": clause.swallows,
+                    }
+                )
+
+    root = config.exception_taxonomy_root
+    taxonomy: dict[str, Any] = {
+        "root": root,
+        "classes": sorted(
+            qualname
+            for qualname in program.index.classes
+            if root and resolver.is_subtype(qualname, root)
+        ),
+    }
+    typed = untyped = unknown = 0
+    for qualname, facts in exceptions.functions.items():
+        if not in_scope(facts.module):
+            continue
+        for site in facts.raises:
+            if site.bare or site.reraises_bound:
+                continue
+            for exc_type in site.types:
+                if exc_type == UNKNOWN:
+                    unknown += 1
+                elif root and resolver.is_subtype(exc_type, root):
+                    typed += 1
+                else:
+                    untyped += 1
+    taxonomy["raises"] = {
+        "taxonomy": typed,
+        "other": untyped,
+        "unknown": unknown,
+    }
+
+    findings = []
+    for rule_cls in (
+        SwallowedExceptionRule,
+        BoundaryEscapeRule,
+        DeadHandlerRule,
+        UntypedRaiseRule,
+        ContextLossRule,
+    ):
+        findings.extend(
+            _finding_payload(finding)
+            for finding in rule_cls().check_program(program)
+        )
+
+    return {
+        "packages": list(packages),
+        "boundaries": boundaries,
+        "broad_handlers": broad_handlers,
+        "taxonomy": taxonomy,
+        "findings": findings,
+        "clean": not findings,
+    }
+
+
 def build_report(program: ProgramContext) -> dict[str, Any]:
     config = program.config
     import_graph = program.import_graph
@@ -199,5 +331,6 @@ def build_report(program: ProgramContext) -> dict[str, Any]:
         },
         "certificate": certificate,
         "concurrency_certificate": _concurrency_certificate(program),
+        "exception_certificate": _exception_certificate(program),
         "hotpath": {"functions": sorted(config.hot_functions)},
     }

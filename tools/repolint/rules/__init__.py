@@ -17,7 +17,15 @@ from tools.repolint.rules.concurrency import (
     ToctouAcrossAwaitRule,
     UnlockedSharedStateRule,
 )
+from tools.repolint.rules.exceptions import (
+    BoundaryEscapeRule,
+    ContextLossRule,
+    DeadHandlerRule,
+    SwallowedExceptionRule,
+    UntypedRaiseRule,
+)
 from tools.repolint.rules.hotpath import HotPathAllocationRule
+from tools.repolint.rules.lint import UnusedSuppressionRule
 from tools.repolint.rules.numeric import UnguardedExpLogRule, UnguardedSumDivisionRule
 from tools.repolint.rules.parallel import (
     ModuleStateMutationRule,
@@ -53,6 +61,12 @@ RULE_CLASSES: list[type[Rule]] = [
     AwaitUnderLockRule,
     ToctouAcrossAwaitRule,
     OrphanSpawnRule,
+    SwallowedExceptionRule,
+    BoundaryEscapeRule,
+    DeadHandlerRule,
+    UntypedRaiseRule,
+    ContextLossRule,
+    UnusedSuppressionRule,
 ]
 
 
@@ -75,7 +89,10 @@ __all__ = [
     "AllDriftRule",
     "AwaitUnderLockRule",
     "BlockingInLoopRule",
+    "BoundaryEscapeRule",
     "CheckpointCompletenessRule",
+    "ContextLossRule",
+    "DeadHandlerRule",
     "GlobalNumpyRandomRule",
     "HotPathAllocationRule",
     "ImportCycleRule",
@@ -89,12 +106,15 @@ __all__ = [
     "RolloutSharedStateRule",
     "Rule",
     "StdlibRandomRule",
+    "SwallowedExceptionRule",
     "ToctouAcrossAwaitRule",
     "UnlockedSharedStateRule",
     "UnboundedServeIORule",
     "UndeclaredLayerRule",
     "UnguardedExpLogRule",
     "UnguardedSumDivisionRule",
+    "UntypedRaiseRule",
+    "UnusedSuppressionRule",
     "WallClockRule",
     "all_rules",
     "rule_catalog",

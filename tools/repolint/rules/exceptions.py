@@ -1,0 +1,239 @@
+"""EXC10xx: exception-flow discipline over the inferred escape sets.
+
+Built on :mod:`tools.repolint.graphs.exceptions` — raise sites, handler
+clauses and the fixed-point escape-set inference.  Scope comes from
+``[tool.repolint.exceptions] packages`` (empty = whole program); the error
+boundaries and their sanctioned escapes live in
+``[tool.repolint.exceptions.boundaries]``.
+
+* **EXC1001** — a broad handler (bare ``except``, ``except Exception``,
+  ``except BaseException``) that neither re-raises, raises a replacement,
+  nor observes the failure (no log/metric call).  Silent swallows on the
+  serve and training paths turn crashes into wrong answers.
+* **EXC1002** — an exception type escaping a declared boundary that its
+  sanction list does not cover.  Serve handlers declare ``[]`` (every
+  failure must become a structured HTTP response); ``PAFeat.fit`` may only
+  leak the typed ``ReproError`` hierarchy and argument ``ValueError``s.
+* **EXC1003** — a dead handler: an ``except C`` clause naming a
+  program-defined exception class that provably cannot arise from the
+  guarded body (no reachable raise, no callee escape).  Dead handlers are
+  usually stale after a refactor and hide the *absence* of the protection
+  they advertise.
+* **EXC1004** — a raise of bare ``Exception``/``BaseException``/
+  ``RuntimeError`` inside the scoped packages: stringly errors that
+  callers cannot catch precisely.  New failure modes belong in the typed
+  taxonomy (``taxonomy-root`` in the config).
+* **EXC1005** — context loss: raising a *new* exception inside an
+  ``except`` block without ``from`` — the traceback loses the original
+  cause exactly where it is most needed.  ``raise X from exc`` chains it;
+  ``raise X from None`` documents deliberate suppression.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.repolint.engine import Finding, ProgramContext, ProgramRule
+from tools.repolint.graphs.exceptions import UNKNOWN
+
+#: Raising these exact types is stringly-typed error handling (EXC1004).
+UNTYPED_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+def _in_scope(module: str, packages: tuple[str, ...]) -> bool:
+    if not packages:
+        return True
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+class SwallowedExceptionRule(ProgramRule):
+    """EXC1001: broad except that swallows without logging or re-raising."""
+
+    code = "EXC1001"
+    name = "swallowed-exception"
+    hint = (
+        "re-raise, raise a typed replacement with 'from', or record the "
+        "failure (logger.exception / metrics); a silent broad except turns "
+        "crashes into wrong answers"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        packages = program.config.exception_packages
+        exceptions = program.exceptions
+        for qualname, region, clause in exceptions.swallow_sites():
+            facts = exceptions.functions[qualname]
+            if not _in_scope(facts.module, packages):
+                continue
+            if not clause.broad:
+                continue
+            yield self.program_finding(
+                program,
+                facts.module,
+                clause.line,
+                f"'except {clause.spelling}' in {qualname} swallows the "
+                "exception: no re-raise, no replacement, no log/metric call",
+            )
+
+
+class BoundaryEscapeRule(ProgramRule):
+    """EXC1002: exception escaping a declared error boundary unsanctioned."""
+
+    code = "EXC1002"
+    name = "boundary-escape"
+    hint = (
+        "catch the type inside the boundary and convert it (structured "
+        "HTTP error, typed ReproError), or add it to the boundary's "
+        "sanctioned list in [tool.repolint.exceptions.boundaries] with a "
+        "rationale"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        exceptions = program.exceptions
+        resolver = exceptions.resolver
+        for boundary, sanctioned in sorted(
+            program.config.exception_boundaries.items()
+        ):
+            function = program.index.functions.get(boundary)
+            if function is None:
+                continue
+            for exc_type in sorted(exceptions.escape_set(boundary)):
+                if exc_type == UNKNOWN:
+                    # Unresolvable raise expressions are reported via the
+                    # certificate, not as boundary violations.
+                    continue
+                if not resolver.is_exception_family(exc_type):
+                    # CancelledError / KeyboardInterrupt / SystemExit are
+                    # control flow, not failures a boundary must convert.
+                    continue
+                if any(resolver.is_subtype(exc_type, s) for s in sanctioned):
+                    continue
+                yield self.program_finding(
+                    program,
+                    function.module,
+                    function.node.lineno,
+                    f"{exc_type} may escape boundary {boundary}; sanctioned "
+                    f"escapes are [{', '.join(sanctioned) or 'none'}]",
+                )
+
+
+class DeadHandlerRule(ProgramRule):
+    """EXC1003: except clause whose type cannot arise from the guarded body."""
+
+    code = "EXC1003"
+    name = "dead-handler"
+    hint = (
+        "the guarded body no longer raises this type (stale after a "
+        "refactor?); delete the clause or guard the call that was meant "
+        "to raise it"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        packages = program.config.exception_packages
+        exceptions = program.exceptions
+        resolver = exceptions.resolver
+        call_graph = program.call_graph
+        for qualname in sorted(exceptions.functions):
+            facts = exceptions.functions[qualname]
+            if not _in_scope(facts.module, packages):
+                continue
+            for region in facts.tries.values():
+                possible = exceptions.possible_in_region(
+                    call_graph, qualname, region.id
+                )
+                if UNKNOWN in possible:
+                    # A raise we cannot type could be anything.
+                    continue
+                for clause in region.clauses:
+                    if clause.types is None:
+                        continue
+                    # Only program-defined exception classes are provable:
+                    # any call into a library may raise any builtin.
+                    if not all(
+                        t in program.index.classes for t in clause.types
+                    ):
+                        continue
+                    live = any(
+                        resolver.is_subtype(exc_type, clause_type)
+                        for exc_type in possible
+                        for clause_type in clause.types
+                    )
+                    if not live:
+                        yield self.program_finding(
+                            program,
+                            facts.module,
+                            clause.line,
+                            f"'except {clause.spelling}' in {qualname} is "
+                            "dead: the guarded body cannot raise it",
+                        )
+
+
+class UntypedRaiseRule(ProgramRule):
+    """EXC1004: raise of bare Exception/RuntimeError outside the taxonomy."""
+
+    code = "EXC1004"
+    name = "untyped-raise"
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        packages = program.config.exception_packages
+        root = program.config.exception_taxonomy_root
+        hint = (
+            f"raise a subclass of {root or 'the project error taxonomy'} "
+            "instead, so callers can catch the failure precisely"
+        )
+        exceptions = program.exceptions
+        for qualname in sorted(exceptions.functions):
+            facts = exceptions.functions[qualname]
+            if not _in_scope(facts.module, packages):
+                continue
+            for site in facts.raises:
+                if site.bare or site.reraises_bound:
+                    continue
+                for exc_type in site.types:
+                    if exc_type in UNTYPED_RAISES:
+                        yield self.program_finding(
+                            program,
+                            facts.module,
+                            site.line,
+                            f"raise of bare {exc_type} in {qualname}: "
+                            "callers cannot catch this precisely",
+                            hint=hint,
+                        )
+
+
+class ContextLossRule(ProgramRule):
+    """EXC1005: new exception raised in an except block without 'from'."""
+
+    code = "EXC1005"
+    name = "context-loss"
+    hint = (
+        "chain the original with 'raise X(...) from exc' (or 'from None' "
+        "to document deliberate suppression); otherwise the traceback "
+        "loses the root cause"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        packages = program.config.exception_packages
+        exceptions = program.exceptions
+        for qualname in sorted(exceptions.functions):
+            facts = exceptions.functions[qualname]
+            if not _in_scope(facts.module, packages):
+                continue
+            for site in facts.raises:
+                if not site.in_handler or site.bare or site.has_cause:
+                    continue
+                if site.reraises_bound:
+                    # ``raise exc`` of the caught variable: same exception,
+                    # no context to lose.
+                    continue
+                spelling = ", ".join(site.types) or "exception"
+                yield self.program_finding(
+                    program,
+                    facts.module,
+                    site.line,
+                    f"raise of {spelling} inside an except block without "
+                    f"'from' in {qualname}: the original cause is dropped "
+                    "from the traceback",
+                )

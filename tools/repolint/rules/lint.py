@@ -1,0 +1,43 @@
+"""Meta-lint: the suppression pragmas themselves are checked for staleness.
+
+Suppressions rot: the offending line gets refactored away, the rule gets
+smarter, and the ``# repolint: disable=CODE`` comment stays behind —
+silently disarming the rule for whatever lands on that line next.  LINT001
+closes the loop by flagging every pragma that silenced nothing during the
+run that just happened.
+
+The check cannot be a normal per-file AST visitor: whether a pragma *was
+used* is only known after the engine has filtered findings through it, and
+for program-rule codes only after the whole-program pass.  So the engine
+owns the bookkeeping (``_filter_suppressed`` records which pragmas fired;
+``analyze_source``/``analyze_paths`` emit the findings), and this class is
+the rule's registry surface: it gives LINT001 a catalog entry, a SARIF
+rule description, and a ``--select``/suppression handle like any other
+code.
+
+Staleness is only claimed when it is provable: a pragma naming a rule
+that did not run this pass (``--select`` subset, program code in a
+file-only pass) is left alone, ``all`` pragmas are deliberate blankets
+and never flagged, and a stale finding can itself be suppressed with
+``disable=LINT001``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.repolint.engine import Finding, Rule, RuleContext
+
+
+class UnusedSuppressionRule(Rule):
+    """LINT001: suppression pragma that no longer silences any finding."""
+
+    code = "LINT001"
+    name = "unused-suppression"
+    hint = "delete the stale pragma (or un-fix whatever it was hiding)"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        # Findings are emitted by the engine's suppression filter, which is
+        # the only place that knows whether a pragma actually fired; having
+        # this class in the registry is what turns the check on.
+        return iter(())
