@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed lint-concurrency lint-exceptions typecheck test test-serve test-fault test-chaos test-chaos-tsan serve bench-serve bench-resilience check
+.PHONY: lint lint-changed lint-concurrency lint-exceptions typecheck test test-serve test-fault test-chaos test-chaos-tsan test-rollout test-parallel-tsan serve bench-serve bench-resilience bench-rollout check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
@@ -54,6 +54,16 @@ test-chaos:
 test-chaos-tsan:
 	REPRO_TSAN=1 $(PYTHON) -m pytest -x -q -m chaos
 
+## Rollout engine only: determinism contracts plus its fault drills.
+test-rollout:
+	$(PYTHON) -m pytest -x -q tests/test_rollout.py tests/test_rollout_faults.py
+
+## The CI parity lane, locally: tier-1 with every fit collecting through
+## the 2-worker rollout engine and the runtime sanitizer armed — the
+## conftest gate fails any test observing a lockset violation.
+test-parallel-tsan:
+	REPRO_ROLLOUT_WORKERS=2 REPRO_TSAN=1 $(PYTHON) -m pytest -x -q -m "not fault and not chaos"
+
 ## Run the selection server on a saved model (MODEL=path/to/artifact).
 serve:
 	$(PYTHON) -m repro serve --checkpoint-dir $(MODEL)
@@ -66,5 +76,9 @@ bench-serve:
 bench-resilience:
 	$(PYTHON) benchmarks/bench_resilience.py
 
+## Rollout speedup/parity/tsan gates; writes BENCH_rollout.json.
+bench-rollout:
+	$(PYTHON) benchmarks/bench_rollout.py
+
 ## Everything CI runs.
-check: lint lint-concurrency lint-exceptions typecheck test test-fault test-chaos-tsan
+check: lint lint-concurrency lint-exceptions typecheck test test-fault test-chaos-tsan test-parallel-tsan

@@ -1,0 +1,220 @@
+"""Bench: parallel rollout throughput vs serial buffer filling.
+
+The rollout engine's pitch is the paper's N parallel rollout resources:
+the Buffer Filling Phase is embarrassingly parallel once episodes are
+plan-determined, so episodes/sec should scale with workers until the
+merge barrier and per-phase broadcast dominate.  This bench puts numbers
+on that:
+
+* **serial** — ``FEATTrainer.buffer_filling`` with no engine attached,
+  the pre-engine baseline;
+* **parallel** — the same trainer driven through
+  :class:`repro.rollout.ParallelRolloutEngine` at 2, 4 and 8 workers,
+  reporting episodes/sec and the fraction of wall time spent in each of
+  the engine's stages (plan / execute / merge).
+
+Three gates, checked before any number is reported:
+
+* **parity** — every engine mode must leave bit-identical trainer state
+  (replay census + trajectory fingerprints): worker count may change
+  speed, never results.  (Serial differs by documented design: the
+  engine plans a whole phase against phase-start ITS/ITE state.)
+* **tsan** — one parallel fill runs with the runtime sanitizer armed;
+  any cross-context unlocked write fails the bench.
+* **speedup** — episodes/sec at 4 workers must be >= 2.5x serial.  Only
+  enforced when the machine has >= 4 CPUs (process pools cannot beat
+  serial on fewer cores); the measurement is reported either way.
+
+Writes ``BENCH_rollout.json`` at the repo root; exits 1 on gate failure::
+
+    python benchmarks/bench_rollout.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import numpy as np  # noqa: E402
+
+from repro.analysis import tsan  # noqa: E402
+from repro.core.config import ClassifierConfig, EnvConfig, PAFeatConfig  # noqa: E402
+from repro.core.pafeat import PAFeat  # noqa: E402
+from repro.data.synthetic import SyntheticSpec, generate_suite  # noqa: E402
+from repro.rollout import ParallelRolloutEngine  # noqa: E402
+
+SPEC = SyntheticSpec(
+    name="bench-rollout",
+    n_instances=400,
+    n_features=20,
+    n_seen=4,
+    n_unseen=2,
+    task_informative=4,
+    n_concepts=2,
+    seed=7,
+)
+WORKER_COUNTS = (2, 4, 8)
+FILLS = 3
+EPISODES_PER_FILL = 32
+SEED = 0
+
+
+def config() -> PAFeatConfig:
+    return PAFeatConfig(
+        n_iterations=1,
+        episodes_per_iteration=2,
+        updates_per_iteration=1,
+        seed=SEED,
+        env=EnvConfig(max_feature_ratio=0.6),
+        classifier=ClassifierConfig(n_epochs=5),
+    )
+
+
+def fresh_trainer():
+    """An identically-initialised trainer per mode (same seed, 1 warm-up
+    iteration), so every mode times the same workload from the same state."""
+    train, _ = generate_suite(SPEC).split_rows(0.7, np.random.default_rng(SEED))
+    model = PAFeat(config()).fit(train)
+    return model.trainer
+
+
+def fingerprint(trainer) -> str:
+    """Order-sensitive digest of the replay state the fills produced."""
+    digest = hashlib.sha256()
+    registry = trainer.registry
+    for task_id in registry.task_ids():
+        buffer = registry.buffer(task_id)
+        digest.update(f"{task_id}:{len(buffer)}".encode())
+        for trajectory in buffer.recent_trajectories():
+            digest.update(repr(trajectory.selected_features).encode())
+            digest.update(f"{trajectory.final_reward:.17g}".encode())
+    digest.update(str(trainer.agent.action_count).encode())
+    return digest.hexdigest()
+
+
+def run_serial() -> dict:
+    trainer = fresh_trainer()
+    start = time.perf_counter()
+    for _ in range(FILLS):
+        trainer.buffer_filling(EPISODES_PER_FILL)
+    elapsed = time.perf_counter() - start
+    episodes = FILLS * EPISODES_PER_FILL
+    return {
+        "mode": "serial",
+        "episodes": episodes,
+        "seconds": elapsed,
+        "episodes_per_sec": episodes / elapsed,
+    }
+
+
+def run_parallel(workers: int, tsan_armed: bool = False) -> dict:
+    trainer = fresh_trainer()
+    engine = ParallelRolloutEngine(workers, seed=SEED)
+    trainer.rollout_engine = engine
+    if tsan_armed:
+        previous = tsan.set_tsan_enabled(True)
+        tsan.reset()
+    try:
+        start = time.perf_counter()
+        for _ in range(FILLS):
+            trainer.buffer_filling(EPISODES_PER_FILL)
+        elapsed = time.perf_counter() - start
+        violations = [str(v) for v in tsan.violations()] if tsan_armed else []
+    finally:
+        if tsan_armed:
+            tsan.reset()
+            tsan.set_tsan_enabled(previous)
+    episodes = FILLS * EPISODES_PER_FILL
+    stage_total = (
+        engine.stats["plan_seconds"]
+        + engine.stats["execute_seconds"]
+        + engine.stats["merge_seconds"]
+    ) or 1.0
+    return {
+        "mode": f"parallel-{workers}",
+        "workers": workers,
+        "episodes": episodes,
+        "seconds": elapsed,
+        "episodes_per_sec": episodes / elapsed,
+        "degraded": engine.degraded,
+        "pool_episodes": engine.stats["pool_episodes"],
+        "fallback_episodes": engine.stats["fallback_episodes"],
+        "plan_fraction": engine.stats["plan_seconds"] / stage_total,
+        "execute_fraction": engine.stats["execute_seconds"] / stage_total,
+        "merge_fraction": engine.stats["merge_seconds"] / stage_total,
+        "merge_seconds": engine.stats["merge_seconds"],
+        "tsan_armed": tsan_armed,
+        "tsan_violations": violations,
+        "fingerprint": fingerprint(trainer),
+    }
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    print(f"bench_rollout: {cpus} CPUs, {FILLS}x{EPISODES_PER_FILL} episodes per mode")
+
+    serial = run_serial()
+    print(f"  serial:     {serial['episodes_per_sec']:.1f} episodes/s")
+
+    rows = [serial]
+    failures: list[str] = []
+    fingerprints: dict[int, str] = {}
+    for workers in WORKER_COUNTS:
+        row = run_parallel(workers, tsan_armed=(workers == WORKER_COUNTS[0]))
+        rows.append(row)
+        fingerprints[workers] = row["fingerprint"]
+        print(
+            f"  {row['mode']:>10}: {row['episodes_per_sec']:.1f} episodes/s "
+            f"({row['episodes_per_sec'] / serial['episodes_per_sec']:.2f}x, "
+            f"merge {row['merge_fraction'] * 100:.1f}%)"
+        )
+        if row["degraded"]:
+            failures.append(f"{row['mode']} degraded to serial execution")
+        if row["tsan_violations"]:
+            failures.append(f"{row['mode']} tsan violations: {row['tsan_violations']}")
+
+    # Parity gate: worker count must not change results.
+    if len(set(fingerprints.values())) != 1:
+        failures.append(f"parity violated across worker counts: {fingerprints}")
+
+    by_workers = {row.get("workers"): row for row in rows[1:]}
+    speedup_4 = by_workers[4]["episodes_per_sec"] / serial["episodes_per_sec"]
+    speedup_enforced = cpus >= 4
+    if speedup_enforced and speedup_4 < 2.5:
+        failures.append(f"4-worker speedup {speedup_4:.2f}x < 2.5x gate")
+    elif not speedup_enforced:
+        print(f"  speedup gate skipped ({cpus} CPUs < 4); measured {speedup_4:.2f}x")
+
+    result = {
+        "bench": "rollout",
+        "cpus": cpus,
+        "fills": FILLS,
+        "episodes_per_fill": EPISODES_PER_FILL,
+        "modes": rows,
+        "speedup_4_workers": speedup_4,
+        "speedup_gate_enforced": speedup_enforced,
+        "parity_ok": len(set(fingerprints.values())) == 1,
+        "failures": failures,
+    }
+    out = REPO_ROOT / "BENCH_rollout.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the latest valid checkpoint in --checkpoint-dir",
     )
+    train.add_argument(
+        "--rollout-workers",
+        type=int,
+        default=None,
+        help="rollout worker processes for the Buffer Filling Phase "
+        "(default: $REPRO_ROLLOUT_WORKERS, else 1 = serial)",
+    )
 
     select = subparsers.add_parser("select", help="select features with a saved model")
     select.add_argument("--model", required=True, help="model directory from `train`")
@@ -209,6 +216,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 keep_last=args.keep_last,
                 resume=args.resume,
                 stop_check=stop_requested if args.checkpoint_dir else None,
+                rollout_workers=args.rollout_workers,
             )
         except TrainingInterrupted as exc:
             where = (

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import tsan
 from repro.core.state import EnvState
 from repro.rl.transition import Trajectory
 
@@ -93,6 +94,10 @@ class ETree:
         initial state, or an ITE-customised one); credit propagates to every
         node on the path, including nodes of the existing prefix.
         """
+        # Mutation must happen under the caller's E-Tree barrier (the ITE
+        # record lock) — the note lets the runtime sanitizer replay the
+        # held-lock set and flag any unguarded concurrent update.
+        tsan.note(self, "root", write=True)
         value = self.trajectory_value(trajectory)
         node = self._descend_to(start) if start is not None else self.root
         node.visits += 1

@@ -17,8 +17,9 @@ uses a random restart policy, RR wraps the per-step reward.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Protocol
 
 import numpy as np
 
@@ -33,6 +34,21 @@ from repro.rl.transition import Trajectory, Transition
 TaskSampler = Callable[[ReplayRegistry, np.random.Generator], int]
 InitialStateProvider = Callable[[int], EnvState]
 RewardTransform = Callable[[int, float], float]
+
+
+class EpisodeCollector(Protocol):
+    """Structural interface for a pluggable Buffer Filling Phase executor.
+
+    The parallel rollout engine (:mod:`repro.rollout`) satisfies this; the
+    protocol is structural precisely so this module needs no import edge —
+    not even a deferred one — toward the engine package.
+    """
+
+    def fill(
+        self, trainer: "FEATTrainer", n_episodes: int
+    ) -> dict[int, list[Trajectory]]:
+        """Collect ``n_episodes`` episodes into the trainer's buffers."""
+        ...
 
 
 class UniformTaskSampler:
@@ -108,6 +124,10 @@ class FEATTrainer:
         # so it survives checkpoint/resume and spans multiple train() calls.
         self._best_score: float = -np.inf
         self._best_snapshot: dict[str, np.ndarray] | None = None
+        # Optional parallel executor for the Buffer Filling Phase.  When
+        # set, buffer_filling delegates to it; when None, the serial loop
+        # below runs untouched.
+        self.rollout_engine: EpisodeCollector | None = None
 
     # ------------------------------------------------------------------
     # Rollouts
@@ -167,35 +187,67 @@ class FEATTrainer:
         trajectory.final_reward = float(final_score)
         return trajectory
 
+    def plan_episode(self) -> tuple[int, EnvState, bool]:
+        """Sample one episode's ``(task, start, random_policy)`` triple.
+
+        This is the only RNG-consuming part of episode set-up (task
+        sampling and ITE state customisation), factored out so the rollout
+        engine's planning stage draws from the very same streams in the
+        very same order as the serial loop.
+        """
+        task_id = self.task_sampler(self.registry, self._rng)
+        start = (
+            self.initial_state_provider(task_id)
+            if self.initial_state_provider is not None
+            else EnvState(selected=(), position=0)
+        )
+        customised = start.position > 0 or bool(start.selected)
+        random_policy = self.restart_policy == "random" and customised
+        return task_id, start, random_policy
+
+    def commit_episode(
+        self, task_id: int, trajectory: Trajectory, start: EnvState
+    ) -> None:
+        """Fold one finished episode into trainer state (buffer + hooks).
+
+        RNG-free, so serial collection and the rollout engine's merge
+        barrier (which replays commits in plan order) produce identical
+        state from identical trajectories.
+        """
+        self.registry.buffer(task_id).add_trajectory(trajectory)
+        if self.episode_end_hook is not None:
+            self.episode_end_hook(task_id, trajectory, start)
+
     def buffer_filling(self, n_episodes: int) -> dict[int, list[Trajectory]]:
         """Buffer Filling Phase (Algorithm 1): N resources → N episodes.
 
         This is the loop the parallel-safety certificate (PAR601) guards:
         every function reachable from here either touches no shared state
-        or is a declared sync point, so the N rollout resources can become
-        real workers without re-auditing the call tree.
+        or is a declared sync point.  With a :class:`EpisodeCollector`
+        installed (``PAFeat.fit(rollout_workers=N)``) the N rollout
+        resources *are* real worker processes; otherwise the serial loop
+        below runs, one resource at a time.
         """
+        if self.rollout_engine is not None:
+            return self.rollout_engine.fill(self, n_episodes)
         collected: dict[int, list[Trajectory]] = {}
         for _ in range(n_episodes):
-            task_id = self.task_sampler(self.registry, self._rng)
-            start = (
-                self.initial_state_provider(task_id)
-                if self.initial_state_provider is not None
-                else EnvState(selected=(), position=0)
-            )
-            customised = start.position > 0 or bool(start.selected)
-            random_policy = self.restart_policy == "random" and customised
+            task_id, start, random_policy = self.plan_episode()
             trajectory = self.run_episode(
                 task_id, start=start, random_policy=random_policy
             )
-            self.registry.buffer(task_id).add_trajectory(trajectory)
-            if self.episode_end_hook is not None:
-                self.episode_end_hook(task_id, trajectory, start)
+            self.commit_episode(task_id, trajectory, start)
             collected.setdefault(task_id, []).append(trajectory)
         return collected
 
     def collect_episodes(self, n_episodes: int) -> dict[int, list[Trajectory]]:
-        """Backwards-compatible alias for :meth:`buffer_filling`."""
+        """Deprecated alias for :meth:`buffer_filling` (PR 3 rename)."""
+        warnings.warn(
+            "FEATTrainer.collect_episodes is deprecated; use "
+            "buffer_filling instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.buffer_filling(n_episodes)
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import tsan
 from repro.core.config import ITEConfig
 from repro.core.etree import ETree
 from repro.core.state import EnvState
@@ -29,6 +30,12 @@ class IntraTaskExplorer:
         self._trees: dict[int, ETree] = {}
         self.invocations = 0
         self.customised_starts = 0
+        # The "E-Tree update barrier" sync point from the PAR601 certificate
+        # (ARCHITECTURE §7.2): the rollout engine folds finished episodes
+        # back at the merge barrier, and every tree mutation goes through
+        # this lock so concurrent recording is a sanitizer violation rather
+        # than silent corruption.
+        self._record_lock = tsan.TrackedLock("ite.record")
 
     def tree(self, task_id: int) -> ETree:
         """The E-Tree for a seen task, created lazily."""
@@ -62,7 +69,9 @@ class IntraTaskExplorer:
 
     def record(self, task_id: int, trajectory: Trajectory, start: EnvState) -> None:
         """Fold a finished episode back into the task's E-Tree."""
-        self.tree(task_id).add_trajectory(trajectory, start=start)
+        with self._record_lock:
+            tsan.note(self, "_trees", write=True)
+            self.tree(task_id).add_trajectory(trajectory, start=start)
 
     # ------------------------------------------------------------------
     # Durable checkpointing

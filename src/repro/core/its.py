@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.analysis import tsan
 from repro.analysis.contracts import check_probability_vector
 from repro.analysis.numerics import normalized, stable_softmax
 from repro.core.config import ITSConfig
@@ -104,6 +105,13 @@ class InterTaskScheduler:
         self.progress_history: deque[list[TaskProgress]] = deque(
             maxlen=PROGRESS_HISTORY_WINDOW
         )
+        # Per-task rollout allocation tally — the "atomic ITS visit counter"
+        # sync point from the PAR601 certificate (ARCHITECTURE §7.2).  The
+        # coordinator plans every episode serially, but the counter is also
+        # readable from telemetry threads, so updates go through a
+        # TrackedLock and feed the runtime sanitizer.
+        self.visit_counts: dict[int, int] = {t: 0 for t in self.task_ids}
+        self._visit_lock = tsan.TrackedLock("its.visits")
 
     def collect_progress(self, registry: ReplayRegistry) -> list[TaskProgress]:
         """Information Collecting Phase (Eqn. 4) for every seen task."""
@@ -145,7 +153,21 @@ class InterTaskScheduler:
         """Draw one seen task according to the current allocation."""
         probabilities = self.probabilities(registry)
         index = rng.choice(len(self.task_ids), p=probabilities)
-        return self.task_ids[int(index)]
+        task_id = self.task_ids[int(index)]
+        self.record_visit(task_id)
+        return task_id
+
+    def record_visit(self, task_id: int) -> None:
+        """Atomically count one planned rollout episode for ``task_id``."""
+        with self._visit_lock:
+            tsan.note(self, "visit_counts", write=True)
+            self.visit_counts[task_id] = self.visit_counts.get(task_id, 0) + 1
+
+    def visits(self) -> dict[int, int]:
+        """A consistent copy of the per-task allocation tally."""
+        with self._visit_lock:
+            tsan.note(self, "visit_counts")
+            return dict(self.visit_counts)
 
     # ------------------------------------------------------------------
     # Durable checkpointing
@@ -157,6 +179,7 @@ class InterTaskScheduler:
             "progress_history": [
                 [asdict(p) for p in snapshot] for snapshot in self.progress_history
             ],
+            "visit_counts": {str(t): int(n) for t, n in self.visits().items()},
         }
 
     def restore_state(self, meta: dict) -> None:
@@ -165,3 +188,7 @@ class InterTaskScheduler:
         self.progress_history.clear()
         for snapshot in meta.get("progress_history", []):
             self.progress_history.append([TaskProgress(**p) for p in snapshot])
+        with self._visit_lock:
+            self.visit_counts = {t: 0 for t in self.task_ids}
+            for key, count in meta.get("visit_counts", {}).items():
+                self.visit_counts[int(key)] = int(count)

@@ -36,6 +36,7 @@ from repro.rl.reward import RewardFunction, build_task_reward
 
 if TYPE_CHECKING:
     from repro.rl.agent import DuelingDQNAgent
+    from repro.rollout.engine import ParallelRolloutEngine
 
 
 @dataclass
@@ -63,6 +64,7 @@ class PAFeat:
         self._n_features: int | None = None
         self._feature_corr: "np.ndarray | None" = None
         self._loaded_agent = None  # populated by repro.io.load_model
+        self.rollout_engine: "ParallelRolloutEngine | None" = None
 
     # ------------------------------------------------------------------
     # Training on seen tasks
@@ -77,8 +79,17 @@ class PAFeat:
         keep_last: int = 3,
         resume: bool = False,
         stop_check: "Callable[[], bool] | None" = None,
+        rollout_workers: int | None = None,
     ) -> "PAFeat":
         """Generalise knowledge from the suite's seen tasks (Algorithm 1).
+
+        ``rollout_workers`` realises the paper's N parallel rollout
+        resources: with ``N >= 2`` the Buffer Filling Phase runs across a
+        process pool (:mod:`repro.rollout`, ARCHITECTURE §10), with results
+        merged deterministically — identical for any worker count — and
+        graceful degradation to serial collection on worker failure.  The
+        default consults the ``REPRO_ROLLOUT_WORKERS`` environment
+        variable, else stays serial (bit-exact with previous releases).
 
         Crash safety: with ``checkpoint_dir`` set, the complete training
         state (networks, optimizer, replay buffers, ITS/ITE statistics,
@@ -157,6 +168,22 @@ class PAFeat:
             **trainer_kwargs,
         )
 
+        # Parallel rollout: built after the trainer, seeded straight from
+        # config.seed (NOT from self._seed_sequence — consuming a spawn
+        # here would shift every downstream stream and break the serial
+        # bit-exactness contract).  Deferred import: core and rollout share
+        # a layer rank, and this keeps the import graph acyclic.
+        from repro.rollout.engine import resolve_worker_count
+
+        workers = resolve_worker_count(rollout_workers)
+        engine = None
+        if workers > 1:
+            from repro.rollout.engine import ParallelRolloutEngine
+
+            engine = ParallelRolloutEngine(workers, seed=config.seed)
+            self.trainer.rollout_engine = engine
+        self.rollout_engine = engine
+
         total = n_iterations if n_iterations is not None else config.n_iterations
         manager = None
         if checkpoint_dir is not None:
@@ -194,13 +221,21 @@ class PAFeat:
                 if stopping:
                     raise TrainingInterrupted(global_iteration, path)
 
-        remaining = total - start_iteration
-        if remaining > 0:
-            self.trainer.train(remaining, iteration_hook=iteration_hook)
-        else:
-            # The checkpoint already covers the requested horizon; just
-            # finalise as train() would (best-policy restore).
-            self.trainer.apply_best_snapshot()
+        try:
+            remaining = total - start_iteration
+            if remaining > 0:
+                self.trainer.train(remaining, iteration_hook=iteration_hook)
+            else:
+                # The checkpoint already covers the requested horizon; just
+                # finalise as train() would (best-policy restore).
+                self.trainer.apply_best_snapshot()
+        finally:
+            # Post-fit collection (further_train, manual buffer_filling)
+            # reverts to the serial loop; the closed engine stays on the
+            # model for stats/telemetry inspection.
+            if engine is not None:
+                engine.close()
+                self.trainer.rollout_engine = None
         return self
 
     # ------------------------------------------------------------------
@@ -375,6 +410,8 @@ class PAFeat:
                 arrays[f"explorer/{name}"] = value
         if self.scheduler is not None:
             meta["scheduler"] = self.scheduler.capture_state()
+        if self.rollout_engine is not None:
+            meta["rollout"] = self.rollout_engine.capture_state()
         return meta, arrays
 
     def _restore_training_state(
@@ -417,6 +454,11 @@ class PAFeat:
                     "checkpoint contains ITS state but use_its is disabled"
                 )
             self.scheduler.restore_state(meta["scheduler"])
+        # Rollout-engine state (the global episode counter that keys the
+        # per-episode RNG shards) only matters when the resumed run also
+        # collects in parallel; a serial resume ignores it by design.
+        if "rollout" in meta and self.rollout_engine is not None:
+            self.rollout_engine.restore_state(meta["rollout"])
 
     # ------------------------------------------------------------------
     # Internals

@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis import tsan
 from repro.rl.transition import Trajectory, Transition
 
 
@@ -33,7 +34,14 @@ class ReplayBuffer:
         self._storage.append(transition)
 
     def add_trajectory(self, trajectory: Trajectory) -> None:
-        """Store a whole episode: transitions into the ring, tail for ITS."""
+        """Store a whole episode: transitions into the ring, tail for ITS.
+
+        Buffer mutation is single-writer by contract: serial collection or
+        the rollout engine's merge barrier (``TrackedLock("rollout.merge")``,
+        ARCHITECTURE §10).  The sanitizer note lets the runtime lockset
+        check catch any concurrent writer that bypasses the barrier.
+        """
+        tsan.note(self, "_storage", write=True)
         for transition in trajectory.transitions:
             self.add(transition)  # via add() so subclasses track metadata
         self._recent_trajectories.append(trajectory)

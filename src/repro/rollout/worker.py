@@ -1,0 +1,184 @@
+"""Worker-process side of the parallel rollout engine.
+
+Each pool worker is initialised once per Buffer Filling Phase with a
+broadcast payload — replica environments, a read-only copy of the agent's
+network weights, the discount factor and the run seed — and then executes
+chunks of :class:`~repro.rollout.plan.EpisodePlan`.  Episode execution is
+a faithful mirror of ``FEATTrainer.run_episode`` with two substitutions
+that make it plan-determined rather than trainer-state-determined:
+
+* randomness comes from the episode's own shard
+  (:func:`repro.rl.seeding.rollout_shard` keyed on the plan's global
+  index), never from the trainer's or agent's streams, and
+* the epsilon schedule advances from the plan's ``epsilon_base`` locally
+  within the episode, never from the shared agent counter.
+
+The replica agent is only ever *read* (``q_values`` is the pure inference
+path certified by PAR601); :func:`epsilon_greedy_action` reproduces
+``DuelingDQNAgent.act`` exactly but with the RNG and action counter passed
+in, so running an episode mutates no agent state.  This is also why the
+engine can re-execute any plan locally against the live trainer objects
+and obtain bit-identical results.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.env import FeatureSelectionEnv
+from repro.errors import WorkerCrashError
+from repro.rl.agent import DuelingDQNAgent
+from repro.rl.seeding import rollout_shard
+from repro.rl.transition import Trajectory, Transition
+from repro.rollout.plan import EpisodePlan, EpisodeResult
+
+__all__ = ["epsilon_greedy_action", "run_planned_episode"]
+
+RewardTransform = Callable[[int, float], float]
+
+
+@dataclass
+class WorkerContext:
+    """The broadcast payload as held by one worker process."""
+
+    envs: dict[int, FeatureSelectionEnv]
+    agent: DuelingDQNAgent
+    gamma: float
+    seed: int
+    reward_transform: RewardTransform | None
+
+
+# Per-process slot for the broadcast payload.  Worker processes are
+# single-threaded plan executors, so this is process-local state, not
+# shared mutable state: each pool worker owns its own interpreter and the
+# coordinator never reads it.  PAR602's "no module-level mutation" contract
+# is waived for this file: a process-pool initializer has nowhere but the
+# module to stash per-process state, and the state is per-worker by
+# construction — exactly the sharding PAR602 exists to guarantee.
+# repolint: disable-file=PAR602
+_CONTEXT: WorkerContext | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: install the broadcast payload in this process."""
+    global _CONTEXT
+    envs, agent, gamma, seed, reward_transform = pickle.loads(payload)
+    _CONTEXT = WorkerContext(
+        envs=dict(envs),
+        agent=agent,
+        gamma=float(gamma),
+        seed=int(seed),
+        reward_transform=reward_transform,
+    )
+
+
+def epsilon_greedy_action(
+    agent: DuelingDQNAgent,
+    state: np.ndarray,
+    rng: np.random.Generator,
+    action_count: int,
+) -> int:
+    """``DuelingDQNAgent.act`` with the RNG and schedule position explicit.
+
+    Byte-for-byte the same decision procedure — epsilon from the schedule
+    at ``action_count``, uniform draw under epsilon, otherwise argmax with
+    random tie-breaking — but free of side effects on the agent, so replica
+    agents stay read-only and the draw order is owned by the episode shard.
+    """
+    epsilon = agent.epsilon_schedule(action_count)
+    if rng.random() < epsilon:
+        return int(rng.integers(agent.n_actions))
+    q = agent.q_values(state)[0]
+    best = np.flatnonzero(q == q.max())
+    if len(best) == 1:
+        return int(best[0])
+    return int(rng.choice(best))
+
+
+def run_planned_episode(
+    envs: Mapping[int, FeatureSelectionEnv],
+    agent: DuelingDQNAgent,
+    gamma: float,
+    plan: EpisodePlan,
+    seed: int,
+    reward_transform: RewardTransform | None = None,
+) -> EpisodeResult:
+    """Execute one planned episode; pure in everything but the env replica.
+
+    Mirrors ``FEATTrainer.run_episode`` (including the discounted
+    return-to-go computation) under the plan's own RNG shard and epsilon
+    base.  The environment is reset to the planned start state first, so
+    any prior episode's residue in the replica is irrelevant.
+    """
+    # Annotated so static call resolution binds env.step/reset_to to
+    # FeatureSelectionEnv (the effect analysis can't see through the
+    # Mapping element type).
+    env: FeatureSelectionEnv = envs[plan.task_id]
+    rng = np.random.default_rng(rollout_shard(seed, plan.index))
+    state = env.reset_to(plan.start)
+    trajectory = Trajectory(task_id=plan.task_id)
+    final_score = env.reward_fn(env.selected) if env.selected else 0.0
+    steps: list[tuple[np.ndarray, int, float, np.ndarray, bool]] = []
+    action_count = plan.epsilon_base
+    while not env.done:
+        if plan.random_policy:
+            action = int(rng.integers(env.N_ACTIONS))
+        else:
+            action_count += 1
+            action = epsilon_greedy_action(agent, state, rng, action_count)
+        next_state, reward, done, info = env.step(action)
+        if reward_transform is not None:
+            reward = reward_transform(plan.task_id, reward)
+        steps.append((state, action, reward, next_state, done))
+        state = next_state
+        final_score = info["score"]
+    running_return = 0.0
+    returns: list[float] = [0.0] * len(steps)
+    for index in range(len(steps) - 1, -1, -1):
+        running_return = steps[index][2] + gamma * running_return
+        returns[index] = running_return
+    for (step_state, action, reward, next_state, done), ret in zip(steps, returns):
+        trajectory.append(
+            Transition(
+                state=step_state,
+                action=action,
+                reward=reward,
+                next_state=next_state,
+                done=done,
+                return_to_go=ret,
+            )
+        )
+    trajectory.selected_features = env.selected
+    trajectory.final_reward = float(final_score)
+    drain = getattr(env.reward_fn, "drain_fresh_entries", None)
+    reward_entries = tuple(drain()) if drain is not None else ()
+    return EpisodeResult(
+        index=plan.index,
+        task_id=plan.task_id,
+        trajectory=trajectory,
+        steps=len(steps),
+        policy_steps=0 if plan.random_policy else len(steps),
+        reward_entries=reward_entries,
+    )
+
+
+def _execute_chunk(plans: tuple[EpisodePlan, ...]) -> list[EpisodeResult]:
+    """Run a contiguous chunk of plans against this worker's replicas."""
+    context = _CONTEXT
+    if context is None:
+        raise WorkerCrashError("rollout worker used before initialisation")
+    return [
+        run_planned_episode(
+            context.envs,
+            context.agent,
+            context.gamma,
+            plan,
+            context.seed,
+            context.reward_transform,
+        )
+        for plan in plans
+    ]

@@ -21,6 +21,32 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _tsan_gate():
+    """The REPRO_TSAN=1 CI lane's per-test gate.
+
+    When the runtime sanitizer is armed process-wide (the parity matrix
+    entry exports ``REPRO_TSAN=1``), every test doubles as a race drill:
+    any cross-context unlocked write observed during it fails it here.
+    Resetting per test also bounds the recorder's memory over the suite.
+    Tests that arm the sanitizer themselves (``test_tsan``, the chaos
+    drills) leave it disabled at module scope or restore state on exit,
+    so this gate sees a clean recorder either way.
+    """
+    from repro.analysis import tsan
+
+    if not tsan.tsan_enabled():
+        yield
+        return
+    tsan.reset()
+    yield
+    try:
+        found = tsan.violations()
+        assert not found, f"tsan violations during test: {found}"
+    finally:
+        tsan.reset()
+
+
 TINY_SPEC = SyntheticSpec(
     name="tiny",
     n_instances=160,

@@ -1,0 +1,230 @@
+"""Rollout fault injection: worker crashes, poisoned payloads, resume.
+
+The engine's failure contract (ARCHITECTURE §10): a pool-level failure
+degrades the run to serial plan execution — *without* changing any result,
+because episodes are determined by plans, not by who executes them.  These
+drills verify the contract end to end:
+
+* a worker crash mid-phase loses no episodes and duplicates none — the
+  crashed run's final weights are bit-identical to an undisturbed
+  parallel run's;
+* poisoned payloads (NaN rewards, truncated trajectories) are caught at
+  the trust boundary and re-executed locally, again bit-identically;
+* an unpicklable broadcast degrades before any worker starts;
+* checkpoint/resume under parallel collection reproduces the
+  uninterrupted parallel run exactly — even resuming at a different
+  worker count.
+
+The injected chunk executors live at module level so they pickle by
+reference into forked pool workers.  Select/deselect with ``-m fault``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.rollout.worker as worker_mod
+from repro.core.pafeat import PAFeat
+from repro.io.faults import CrashAt, SimulatedCrash
+from repro.rollout import engine as engine_mod
+from tests.conftest import fast_config
+
+pytestmark = pytest.mark.fault
+
+N_ITERATIONS = 8
+CHECKPOINT_EVERY = 3
+EPISODES = N_ITERATIONS * 2  # fast_config: episodes_per_iteration=2
+
+_REAL_CHUNK = worker_mod._execute_chunk
+
+
+def _crashing_chunk(plans):
+    """Every chunk dies — a worker segfault on the first dispatch."""
+    raise SimulatedCrash("injected rollout worker crash")
+
+
+def _partial_crash_chunk(plans):
+    """Chunks holding an odd-indexed plan die; the rest run faithfully."""
+    if any(plan.index % 2 == 1 for plan in plans):
+        raise SimulatedCrash("injected crash on odd episode chunk")
+    return _REAL_CHUNK(plans)
+
+
+def _nan_poison_chunk(plans):
+    """Faithful execution, then corrupt every payload's final reward."""
+    results = _REAL_CHUNK(plans)
+    for result in results:
+        result.trajectory.final_reward = float("nan")
+    return results
+
+
+def _truncating_poison_chunk(plans):
+    """Faithful execution, then drop the last transition of each episode."""
+    results = _REAL_CHUNK(plans)
+    for result in results:
+        result.trajectory.transitions.pop()
+    return results
+
+
+def _fit(train_tasks, *, workers, stop_check=None, **kwargs):
+    config = fast_config(n_iterations=N_ITERATIONS)
+    return PAFeat(config).fit(
+        train_tasks, rollout_workers=workers, stop_check=stop_check, **kwargs
+    )
+
+
+def _weights(model):
+    return model.trainer.agent.save_policy()
+
+
+def _assert_same_weights(expected, actual):
+    assert set(expected) == set(actual)
+    for name in expected:
+        np.testing.assert_array_equal(expected[name], actual[name])
+
+
+def _buffer_census(model):
+    """Per-task replay sizes — the lost/duplicated-episode detector."""
+    registry = model.trainer.registry
+    return {
+        task_id: (
+            len(registry.buffer(task_id)),
+            len(registry.buffer(task_id).recent_trajectories()),
+        )
+        for task_id in registry.task_ids()
+    }
+
+
+@pytest.fixture(scope="module")
+def train_tasks(tiny_split):
+    train, _ = tiny_split
+    return train
+
+
+@pytest.fixture(scope="module")
+def parallel_reference(train_tasks):
+    """The undisturbed 2-worker run every drill must reproduce."""
+    model = _fit(train_tasks, workers=2)
+    assert not model.rollout_engine.degraded
+    return model
+
+
+class TestWorkerCrash:
+    def test_total_crash_degrades_and_loses_nothing(
+        self, train_tasks, parallel_reference, monkeypatch
+    ):
+        monkeypatch.setattr(worker_mod, "_execute_chunk", _crashing_chunk)
+        model = _fit(train_tasks, workers=2)
+        engine = model.rollout_engine
+        assert engine.degraded
+        assert "crash" in engine.degrade_reason
+        assert engine.stats["crashes"] >= 1
+        assert engine.stats["pool_episodes"] == 0
+        # Every planned episode was re-executed locally, none twice.
+        assert engine.stats["fallback_episodes"] == EPISODES
+        assert engine.stats["episodes"] == EPISODES
+        _assert_same_weights(_weights(parallel_reference), _weights(model))
+        assert _buffer_census(model) == _buffer_census(parallel_reference)
+
+    def test_partial_crash_keeps_healthy_workers_results(
+        self, train_tasks, parallel_reference, monkeypatch
+    ):
+        monkeypatch.setattr(worker_mod, "_execute_chunk", _partial_crash_chunk)
+        model = _fit(train_tasks, workers=2)
+        engine = model.rollout_engine
+        assert engine.degraded
+        # The even chunk of the first fill survived the crash of its peer.
+        assert engine.stats["pool_episodes"] >= 1
+        assert (
+            engine.stats["pool_episodes"] + engine.stats["fallback_episodes"]
+            == EPISODES
+        )
+        _assert_same_weights(_weights(parallel_reference), _weights(model))
+        assert _buffer_census(model) == _buffer_census(parallel_reference)
+
+    def test_unpicklable_broadcast_degrades_before_dispatch(
+        self, train_tasks, parallel_reference, monkeypatch
+    ):
+        class _Unpicklable:
+            def dumps(self, payload):
+                raise TypeError("cannot pickle broadcast payload")
+
+        monkeypatch.setattr(engine_mod, "pickle", _Unpicklable())
+        model = _fit(train_tasks, workers=2)
+        engine = model.rollout_engine
+        assert engine.degraded
+        assert "picklable" in engine.degrade_reason
+        assert engine.stats["crashes"] == 0
+        assert engine.stats["pool_episodes"] == 0
+        _assert_same_weights(_weights(parallel_reference), _weights(model))
+
+
+class TestPoisonedPayloads:
+    @pytest.mark.parametrize(
+        "poison", [_nan_poison_chunk, _truncating_poison_chunk]
+    )
+    def test_poison_is_quarantined_at_the_trust_boundary(
+        self, train_tasks, parallel_reference, monkeypatch, poison
+    ):
+        monkeypatch.setattr(worker_mod, "_execute_chunk", poison)
+        model = _fit(train_tasks, workers=2)
+        engine = model.rollout_engine
+        # Validation failures are not pool failures: the engine keeps
+        # dispatching (maybe the next phase's payloads are fine) and
+        # re-executes only the rejected episodes.
+        assert not engine.degraded
+        assert engine.stats["invalid_results"] == EPISODES
+        assert engine.stats["fallback_episodes"] == EPISODES
+        assert engine.stats["pool_episodes"] == 0
+        _assert_same_weights(_weights(parallel_reference), _weights(model))
+        assert _buffer_census(model) == _buffer_census(parallel_reference)
+
+
+class TestParallelCheckpointResume:
+    def test_crash_resume_is_bit_identical_under_parallel_collection(
+        self, train_tasks, parallel_reference, tmp_path
+    ):
+        directory = tmp_path / "ckpts"
+        with pytest.raises(SimulatedCrash):
+            _fit(
+                train_tasks,
+                workers=2,
+                checkpoint_dir=directory,
+                checkpoint_every=CHECKPOINT_EVERY,
+                stop_check=CrashAt(5),  # dies between checkpoints 3 and 6
+            )
+        assert [p.name for p in sorted(directory.iterdir())] == ["ckpt-00000003"]
+        resumed = _fit(
+            train_tasks,
+            workers=2,
+            checkpoint_dir=directory,
+            checkpoint_every=CHECKPOINT_EVERY,
+            resume=True,
+        )
+        # The resumed engine picked the episode counter back up at the
+        # checkpoint's value, so every post-resume episode reused the
+        # shard an uninterrupted run would have minted.
+        assert resumed.rollout_engine.episodes_planned == EPISODES
+        _assert_same_weights(_weights(parallel_reference), _weights(resumed))
+
+    def test_resume_at_a_different_worker_count(
+        self, train_tasks, parallel_reference, tmp_path
+    ):
+        directory = tmp_path / "ckpts"
+        with pytest.raises(SimulatedCrash):
+            _fit(
+                train_tasks,
+                workers=2,
+                checkpoint_dir=directory,
+                checkpoint_every=CHECKPOINT_EVERY,
+                stop_check=CrashAt(5),
+            )
+        resumed = _fit(
+            train_tasks,
+            workers=3,  # hardware changed between runs; results must not
+            checkpoint_dir=directory,
+            checkpoint_every=CHECKPOINT_EVERY,
+            resume=True,
+        )
+        _assert_same_weights(_weights(parallel_reference), _weights(resumed))
