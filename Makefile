@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-changed lint-concurrency lint-exceptions typecheck test test-serve test-fault test-chaos test-chaos-tsan test-rollout test-parallel-tsan serve bench-serve bench-resilience bench-rollout check
+.PHONY: lint lint-changed lint-concurrency lint-exceptions typecheck test test-serve test-fault test-chaos test-chaos-tsan test-rollout test-parallel-tsan serve bench-serve bench-resilience bench-rollout bench-obs check
 
 ## Full static-analysis gate: every repolint rule over src/.
 lint:
@@ -79,6 +79,11 @@ bench-resilience:
 ## Rollout speedup/parity/tsan gates; writes BENCH_rollout.json.
 bench-rollout:
 	$(PYTHON) benchmarks/bench_rollout.py
+
+## Telemetry parity + disabled-path overhead gates; writes BENCH_obs.json
+## and sample telemetry under benchmarks/results/obs_telemetry/.
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
 
 ## Everything CI runs.
 check: lint lint-concurrency lint-exceptions typecheck test test-fault test-chaos-tsan test-parallel-tsan

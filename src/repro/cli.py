@@ -10,11 +10,16 @@ Commands:
 * ``serve`` — run the async micro-batching selection server on a saved
   model (or a directory of versioned models); ``/select``, ``/healthz``,
   ``/metrics``, graceful drain on SIGTERM.
+* ``obs`` — inspect observability artifacts; ``obs summarize`` renders a
+  run report from a ``--telemetry-dir`` event stream.
 
 Examples::
 
     python -m repro info
     python -m repro train --dataset water-quality --output /tmp/model
+    python -m repro train --dataset water-quality --output /tmp/model \
+        --telemetry-dir /tmp/telemetry
+    python -m repro obs summarize /tmp/telemetry
     python -m repro select --model /tmp/model --dataset water-quality
     python -m repro experiment --artefact table2 --scale smoke
     python -m repro serve --checkpoint-dir /tmp/model --port 8765
@@ -23,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -87,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rollout worker processes for the Buffer Filling Phase "
         "(default: $REPRO_ROLLOUT_WORKERS, else 1 = serial)",
+    )
+    train.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="write the training telemetry stream (events.jsonl + "
+        "trace.jsonl) to this directory; inspect it afterwards with "
+        "`repro obs summarize <dir>`",
     )
 
     select = subparsers.add_parser("select", help="select features with a saved model")
@@ -176,6 +189,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="socket read/write timeout per request (default: 10)",
     )
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect observability artifacts (telemetry, traces)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="render a run report from a telemetry directory"
+    )
+    summarize.add_argument(
+        "path",
+        help="telemetry directory (or events.jsonl file) written by "
+        "`repro train --telemetry-dir`",
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of the report",
+    )
     return parser
 
 
@@ -217,6 +248,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 stop_check=stop_requested if args.checkpoint_dir else None,
                 rollout_workers=args.rollout_workers,
+                telemetry=args.telemetry_dir,
             )
         except TrainingInterrupted as exc:
             where = (
@@ -233,6 +265,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"trained in {time.perf_counter() - start:.1f}s")
     directory = save_model(model, args.output)
     print(f"model saved to {directory}")
+    if args.telemetry_dir:
+        print(
+            f"telemetry written to {args.telemetry_dir} "
+            f"(view with `repro obs summarize {args.telemetry_dir}`)"
+        )
     return 0
 
 
@@ -322,12 +359,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.telemetry import (
+        read_events,
+        render_run_report,
+        summarize_events,
+    )
+
+    if args.obs_command == "summarize":
+        summary = summarize_events(read_events(args.path))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_run_report(summary))
+        return 0
+    raise ValueError(f"unknown obs subcommand {args.obs_command!r}")
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
     "select": _cmd_select,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
 
 
@@ -344,6 +401,12 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, RuntimeError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe early (`repro obs summarize … | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush does
+        # not raise a second time, and exit like head's upstream should.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

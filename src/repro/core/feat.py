@@ -18,14 +18,18 @@ uses a random restart policy, RR wraps the per-step reward.
 from __future__ import annotations
 
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Protocol
+from typing import Any, Callable, Mapping, Protocol
 
 import numpy as np
 
 from repro.core.config import PAFeatConfig
 from repro.core.env import FeatureSelectionEnv
 from repro.core.state import EnvState
+from repro.obs.profile import PhaseProfiler
+from repro.obs.telemetry import TelemetryWriter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.replay import ReplayRegistry
 from repro.rl.transition import Trajectory, Transition
@@ -128,6 +132,18 @@ class FEATTrainer:
         # set, buffer_filling delegates to it; when None, the serial loop
         # below runs untouched.
         self.rollout_engine: EpisodeCollector | None = None
+        # Observability hooks (wired by PAFeat.fit(telemetry=...)).  All
+        # off by default; the telemetry stream is strictly observational —
+        # it consumes no RNG and feeds nothing back into training state,
+        # so enabling it leaves the run bit-identical (the parity gate in
+        # benchmarks/bench_obs.py holds the contract).
+        self.telemetry: TelemetryWriter | None = None
+        self.tracer: Tracer = NULL_TRACER
+        self.profiler: PhaseProfiler | None = None
+        #: Optional per-episode enrichment hook: ``probe(task_id)`` returns
+        #: extra event fields (e.g. the task's progress quantile from ITS).
+        #: Must be read-only on trainer/scheduler state.
+        self.telemetry_probe: Callable[[int], dict[str, Any]] | None = None
 
     # ------------------------------------------------------------------
     # Rollouts
@@ -217,6 +233,20 @@ class FEATTrainer:
         self.registry.buffer(task_id).add_trajectory(trajectory)
         if self.episode_end_hook is not None:
             self.episode_end_hook(task_id, trajectory, start)
+        if self.telemetry is not None:
+            payload: dict[str, Any] = {
+                "task": task_id,
+                "reward": round(float(trajectory.final_reward), 6),
+                "steps": trajectory.length,
+                "n_selected": len(trajectory.selected_features),
+                "epsilon": round(
+                    float(self.agent.epsilon_schedule(self.agent.action_count)),
+                    6,
+                ),
+            }
+            if self.telemetry_probe is not None:
+                payload.update(self.telemetry_probe(task_id))
+            self.telemetry.emit("episode", **payload)
 
     def buffer_filling(self, n_episodes: int) -> dict[int, list[Trajectory]]:
         """Buffer Filling Phase (Algorithm 1): N resources → N episodes.
@@ -255,15 +285,27 @@ class FEATTrainer:
     # ------------------------------------------------------------------
     def train_iteration(self, iteration: int) -> IterationStats:
         """One outer iteration: fill buffers, then K update rounds."""
-        collected = self.buffer_filling(self.config.episodes_per_iteration)
-        losses: list[float] = []
-        for _ in range(self.config.updates_per_iteration):
-            for task_id in self.registry.non_empty_task_ids():
-                buffer = self.registry.buffer(task_id)
-                batch = buffer.sample(self.config.agent.batch_size, self._rng)
-                losses.append(self.agent.update(batch, task_id=task_id))
-                if hasattr(buffer, "update_priorities"):
-                    buffer.update_priorities(self.agent.td_errors(batch))
+        profiler = self.profiler
+        with self.tracer.span("train.iteration", iteration=iteration) as span:
+            with self.tracer.span("train.fill", parent=span), (
+                profiler.phase("train.fill") if profiler else nullcontext()
+            ):
+                collected = self.buffer_filling(
+                    self.config.episodes_per_iteration
+                )
+            losses: list[float] = []
+            with self.tracer.span("train.update", parent=span), (
+                profiler.phase("train.update") if profiler else nullcontext()
+            ):
+                for _ in range(self.config.updates_per_iteration):
+                    for task_id in self.registry.non_empty_task_ids():
+                        buffer = self.registry.buffer(task_id)
+                        batch = buffer.sample(
+                            self.config.agent.batch_size, self._rng
+                        )
+                        losses.append(self.agent.update(batch, task_id=task_id))
+                        if hasattr(buffer, "update_priorities"):
+                            buffer.update_priorities(self.agent.td_errors(batch))
         stats = IterationStats(
             iteration=iteration,
             episodes=sum(len(v) for v in collected.values()),
@@ -274,7 +316,53 @@ class FEATTrainer:
             },
         )
         self.history.append(stats)
+        if self.telemetry is not None:
+            self.telemetry.emit("iteration", **self._iteration_event(stats))
         return stats
+
+    def _iteration_event(self, stats: IterationStats) -> dict[str, Any]:
+        """The per-iteration telemetry payload (read-only aggregation)."""
+        payload: dict[str, Any] = {
+            "iteration": stats.iteration,
+            "episodes": stats.episodes,
+            "mean_loss": round(stats.mean_loss, 6),
+            "rewards_per_task": {
+                str(task): round(reward, 6)
+                for task, reward in sorted(stats.rewards_per_task.items())
+            },
+        }
+        cache = {"hits": 0, "misses": 0, "merged": 0, "entries": 0}
+        seen_cache = False
+        for env in self.envs.values():
+            stats_fn = getattr(env.reward_fn, "stats", None)
+            if stats_fn is None:
+                continue
+            seen_cache = True
+            for key, value in stats_fn().items():
+                cache[key] = cache.get(key, 0) + int(value)
+        if seen_cache:
+            lookups = cache["hits"] + cache["misses"]
+            cache["hit_rate"] = (
+                round(cache["hits"] / lookups, 6) if lookups else 0.0
+            )
+            payload["cache"] = cache
+        # ITS allocation tallies, when the sampler is a scheduler's bound
+        # method (the PAFeat wiring) or anything else exposing visits().
+        owner = getattr(self.task_sampler, "__self__", None)
+        visits_fn = getattr(owner, "visits", None)
+        if visits_fn is not None:
+            payload["its_visits"] = {
+                str(task): int(count)
+                for task, count in sorted(visits_fn().items())
+            }
+        if self.profiler is not None:
+            fractions = self.profiler.fractions()
+            if fractions:
+                payload["phases"] = {
+                    phase: round(fraction, 6)
+                    for phase, fraction in sorted(fractions.items())
+                }
+        return payload
 
     def train(
         self,

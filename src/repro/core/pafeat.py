@@ -32,6 +32,7 @@ from repro.core.its import InterTaskScheduler
 from repro.data.stats import feature_redundancy_matrix, pearson_representation
 from repro.data.tasks import Task, TaskSuite
 from repro.nn.classifier import MaskedMLPClassifier
+from repro.obs.telemetry import TelemetryWriter
 from repro.rl.reward import RewardFunction, build_task_reward
 
 if TYPE_CHECKING:
@@ -80,6 +81,7 @@ class PAFeat:
         resume: bool = False,
         stop_check: "Callable[[], bool] | None" = None,
         rollout_workers: int | None = None,
+        telemetry: "str | Path | TelemetryWriter | None" = None,
     ) -> "PAFeat":
         """Generalise knowledge from the suite's seen tasks (Algorithm 1).
 
@@ -105,6 +107,15 @@ class PAFeat:
         ``stop_check`` is polled once per iteration (e.g. a SIGTERM flag);
         when it returns True a final checkpoint is flushed and
         :class:`~repro.io.checkpoint.TrainingInterrupted` is raised.
+
+        ``telemetry`` enables the training telemetry stream (ARCHITECTURE
+        §11): pass a directory and fit writes per-episode/per-iteration
+        events to ``events.jsonl`` plus a span trace to ``trace.jsonl``
+        there (``repro obs summarize <dir>`` renders the run report), or
+        pass a :class:`~repro.obs.telemetry.TelemetryWriter` to share a
+        sink the caller owns.  Telemetry is strictly observational: it
+        consumes no RNG and the trained model is bit-identical with it on
+        or off.
         """
         if not suite.seen_tasks:
             raise DataValidationError("suite has no seen tasks to learn from")
@@ -185,6 +196,69 @@ class PAFeat:
         self.rollout_engine = engine
 
         total = n_iterations if n_iterations is not None else config.n_iterations
+
+        # Observability wiring: an owned writer/tracer pair for a directory
+        # argument, or the caller's writer as-is.  Wired after the trainer
+        # and engine exist; torn down (and detached) in the finally block.
+        writer: "TelemetryWriter | None" = None
+        tracer = None
+        owns_telemetry = False
+        if telemetry is not None:
+            from repro.obs.profile import PhaseProfiler
+            from repro.obs.trace import Tracer
+
+            run_id = f"fit-seed{config.seed}"
+            if isinstance(telemetry, TelemetryWriter):
+                writer = telemetry
+            else:
+                writer = TelemetryWriter(telemetry, run_id=run_id)
+                tracer = Tracer(Path(telemetry) / "trace.jsonl", run_id=run_id)
+                owns_telemetry = True
+            profiler = PhaseProfiler()
+            self.trainer.telemetry = writer
+            self.trainer.profiler = profiler
+            if tracer is not None:
+                self.trainer.tracer = tracer
+            if engine is not None:
+                engine.profiler = profiler
+                if tracer is not None:
+                    engine.tracer = tracer
+            if self.scheduler is not None:
+                scheduler = self.scheduler
+
+                def telemetry_probe(task_id: int) -> dict:
+                    # Read-only: ranks the task's last ITS distance ratio
+                    # among all seen tasks (the "progress quantile").
+                    progress = scheduler.last_progress
+                    if not progress:
+                        return {}
+                    mine = next(
+                        (
+                            p.distance_ratio
+                            for p in progress
+                            if p.task_id == task_id
+                        ),
+                        None,
+                    )
+                    if mine is None:
+                        return {}
+                    rank = sum(
+                        1 for p in progress if p.distance_ratio <= mine
+                    )
+                    return {
+                        "progress": round(float(mine), 6),
+                        "progress_q": round(rank / len(progress), 6),
+                    }
+
+                self.trainer.telemetry_probe = telemetry_probe
+            writer.emit(
+                "run_start",
+                seed=config.seed,
+                n_tasks=len(envs),
+                iterations=total,
+                rollout_workers=workers,
+            )
+
         manager = None
         if checkpoint_dir is not None:
             from repro.io.checkpoint import CheckpointManager
@@ -229,6 +303,18 @@ class PAFeat:
                 # The checkpoint already covers the requested horizon; just
                 # finalise as train() would (best-policy restore).
                 self.trainer.apply_best_snapshot()
+            if writer is not None:
+                # Only a completed fit gets a run_end event — its absence
+                # is how `repro obs summarize` flags a crashed or
+                # interrupted run.
+                best = self.trainer._best_score
+                end: dict = {
+                    "iterations": len(self.trainer.history),
+                    "episodes": sum(s.episodes for s in self.trainer.history),
+                }
+                if np.isfinite(best):
+                    end["best_score"] = round(float(best), 6)
+                writer.emit("run_end", **end)
         finally:
             # Post-fit collection (further_train, manual buffer_filling)
             # reverts to the serial loop; the closed engine stays on the
@@ -236,6 +322,19 @@ class PAFeat:
             if engine is not None:
                 engine.close()
                 self.trainer.rollout_engine = None
+            if writer is not None:
+                from repro.obs.trace import NULL_TRACER
+
+                # Detach the hooks so post-fit training helpers never
+                # write to a sink the caller may have closed.
+                self.trainer.telemetry = None
+                self.trainer.tracer = NULL_TRACER
+                self.trainer.profiler = None
+                self.trainer.telemetry_probe = None
+                if owns_telemetry:
+                    writer.close()
+                if tracer is not None:
+                    tracer.close()
         return self
 
     # ------------------------------------------------------------------

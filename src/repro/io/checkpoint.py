@@ -33,7 +33,6 @@ from __future__ import annotations
 import hashlib
 import io
 import json
-import logging
 import os
 import re
 import shutil
@@ -49,8 +48,9 @@ import numpy as np
 from repro.errors import CheckpointCorruptionError as CheckpointCorruptionError
 from repro.errors import CheckpointError as CheckpointError
 from repro.errors import TrainingInterrupted as TrainingInterrupted
+from repro.obs.log import get_logger
 
-logger = logging.getLogger(__name__)
+_LOG = get_logger("io.checkpoint")
 
 CHECKPOINT_FORMAT_VERSION = 1
 STATE_NAME = "state.json"
@@ -319,6 +319,6 @@ class CheckpointManager:
             try:
                 return self.load(path)
             except CheckpointError as exc:
-                logger.warning("skipping corrupt checkpoint %s: %s", path, exc)
+                _LOG.warning("skipping corrupt checkpoint %s: %s", path, exc)
                 self.skipped.append((path, str(exc)))
         return None

@@ -1,0 +1,420 @@
+"""Thread-safe, label-aware metrics with Prometheus text exposition.
+
+One :class:`MetricsRegistry` per process (or per server) owns every
+:class:`Counter`, :class:`Gauge` and :class:`Histogram`; ``render()``
+emits the whole registry as Prometheus text-format 0.0.4 so ``/metrics``
+can serve a single unified page for the serve stack, the model registry
+and anything else that registers.
+
+Design points:
+
+* **Label-aware series.**  A metric with ``labelnames=("reason",)`` holds
+  one numeric series per observed label-value tuple; exposition escapes
+  label values per the Prometheus spec (``\\`` → ``\\\\``, ``"`` → ``\\"``,
+  newline → ``\\n``).
+* **Real locks.**  All series maps mutate under a
+  :class:`repro.analysis.tsan.TrackedLock`, so the runtime thread
+  sanitizer sees the guard and cross-thread scrapes (the server reads
+  from the event loop while reload work runs in executor threads) are
+  provably serialized.
+* **Collectors.**  ``register_collector`` accepts a callable returning
+  extra exposition lines at scrape time — how provider-backed values
+  (circuit-breaker state, cache hit rate) and the dual-view
+  :class:`~repro.serve.metrics.LatencyHistogram` join the unified page
+  without copying state on every observation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis import tsan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+]
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): micro to minutes, log-ish spaced.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, math.inf,
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value == int(value) and math.isfinite(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _bucket_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:g}"
+
+
+class _Metric:
+    """Shared machinery: named, typed, label-aware series under one lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: tsan.TrackedLock,
+    ) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_PATTERN.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0.0 if never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Snapshot of every series, keyed by label-value tuple."""
+        with self._lock:
+            return dict(self._series)
+
+    def touch(self, **labels: object) -> None:
+        """Materialise a series at 0 so it renders before first increment."""
+        key = self._key(labels)
+        with self._lock:
+            tsan.note(self, "_series", write=True)
+            self._series.setdefault(key, 0.0)
+
+    # -- exposition -----------------------------------------------------
+    def _sample_line(self, key: tuple[str, ...], value: float) -> str:
+        if not self.labelnames:
+            return f"{self.name} {_format_value(value)}"
+        labels = ",".join(
+            f'{name}="{escape_label_value(text)}"'
+            for name, text in zip(self.labelnames, key)
+        )
+        return f"{self.name}{{{labels}}} {_format_value(value)}"
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            items = sorted(self._series.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(self._sample_line(key, value))
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            tsan.note(self, "_series", write=True)
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, breaker state)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            tsan.note(self, "_series", write=True)
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            tsan.note(self, "_series", write=True)
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def set_max(self, value: float, **labels: object) -> None:
+        """Raise the gauge to ``value`` if higher (peak tracking)."""
+        key = self._key(labels)
+        with self._lock:
+            tsan.note(self, "_series", write=True)
+            if value > self._series.get(key, 0.0):
+                self._series[key] = float(value)
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.total = 0
+        self.sum = 0.0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: tsan.TrackedLock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        if not buckets:
+            raise ValueError("need at least one bucket boundary")
+        if list(buckets) != sorted(buckets):
+            raise ValueError("bucket boundaries must be ascending")
+        bounds = tuple(float(b) for b in buckets)
+        if not math.isinf(bounds[-1]):
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+        self._histograms: dict[tuple[str, ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            tsan.note(self, "_histograms", write=True)
+            series = self._histograms.get(key)
+            if series is None:
+                series = self._histograms[key] = _HistogramSeries(
+                    len(self.buckets)
+                )
+            series.total += 1
+            series.sum += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.counts[index] += 1
+                    break
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._histograms.get(key)
+            return 0 if series is None else series.total
+
+    def sum_value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._histograms.get(key)
+            return 0.0 if series is None else series.sum
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Per-label observation counts (the histogram ``_count`` view)."""
+        with self._lock:
+            return {
+                key: float(series.total)
+                for key, series in self._histograms.items()
+            }
+
+    def snapshot(self, **labels: object) -> dict[str, object]:
+        key = self._key(labels)
+        with self._lock:
+            series = self._histograms.get(key)
+            counts = [0] * len(self.buckets) if series is None else list(series.counts)
+            total = 0 if series is None else series.total
+            total_sum = 0.0 if series is None else series.sum
+        return {
+            "count": total,
+            "sum": total_sum,
+            "buckets": {
+                _bucket_label(bound): count
+                for bound, count in zip(self.buckets, counts)
+            },
+        }
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            items = sorted(
+                (key, list(series.counts), series.total, series.sum)
+                for key, series in self._histograms.items()
+            )
+        for key, counts, total, total_sum in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                label_parts = [
+                    f'{name}="{escape_label_value(text)}"'
+                    for name, text in zip(self.labelnames, key)
+                ]
+                label_parts.append(f'le="{_bucket_label(bound)}"')
+                lines.append(
+                    f"{self.name}_bucket{{{','.join(label_parts)}}} {cumulative}"
+                )
+            suffix = ""
+            if key:
+                labels = ",".join(
+                    f'{name}="{escape_label_value(text)}"'
+                    for name, text in zip(self.labelnames, key)
+                )
+                suffix = f"{{{labels}}}"
+            lines.append(f"{self.name}_sum{suffix} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{suffix} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns metrics and collectors; renders one unified exposition page."""
+
+    def __init__(self) -> None:
+        self._lock = tsan.TrackedLock("obs.registry")
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], Iterable[str]]] = []
+
+    def _get_or_create(
+        self, kind: type, name: str, factory: Callable[[], _Metric]
+    ) -> _Metric:
+        with self._lock:
+            tsan.note(self, "_metrics", write=True)
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind.__name__.lower()}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._get_or_create(
+            Counter,
+            name,
+            lambda: Counter(
+                name, help_text, labelnames, tsan.TrackedLock(f"obs.{name}")
+            ),
+        )
+        assert isinstance(metric, Counter)
+        self._check_labels(metric, labelnames)
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._get_or_create(
+            Gauge,
+            name,
+            lambda: Gauge(
+                name, help_text, labelnames, tsan.TrackedLock(f"obs.{name}")
+            ),
+        )
+        assert isinstance(metric, Gauge)
+        self._check_labels(metric, labelnames)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            Histogram,
+            name,
+            lambda: Histogram(
+                name,
+                help_text,
+                labelnames,
+                tsan.TrackedLock(f"obs.{name}"),
+                buckets=buckets,
+            ),
+        )
+        assert isinstance(metric, Histogram)
+        self._check_labels(metric, labelnames)
+        return metric
+
+    @staticmethod
+    def _check_labels(metric: _Metric, labelnames: Sequence[str]) -> None:
+        if tuple(labelnames) != metric.labelnames:
+            raise ValueError(
+                f"metric {metric.name!r} already registered with labels "
+                f"{metric.labelnames}, not {tuple(labelnames)}"
+            )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_collector(self, collector: Callable[[], Iterable[str]]) -> None:
+        """Add a scrape-time source of extra exposition lines."""
+        with self._lock:
+            tsan.note(self, "_collectors", write=True)
+            self._collectors.append(collector)
+
+    def render(self) -> str:
+        """The whole registry as Prometheus text format (trailing newline)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors)
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        for collector in collectors:
+            lines.extend(collector())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-able view of every registered metric (not collectors)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        data: dict[str, dict[str, object]] = {}
+        for metric in metrics:
+            series = metric.series()
+            if metric.labelnames:
+                values: object = {
+                    ",".join(key): value for key, value in sorted(series.items())
+                }
+            else:
+                values = series.get((), 0.0)
+            data[metric.name] = {"kind": metric.kind, "value": values}
+        return data

@@ -1,0 +1,258 @@
+"""Training telemetry: JSONL event stream plus the run-report summarizer.
+
+``PAFeat.fit(telemetry=...)`` (and ``repro train --telemetry-dir``) wires
+a :class:`TelemetryWriter` into the trainer; the trainer then emits one
+structured event per committed episode and per finished iteration —
+task id, progress quantile, reward, epsilon, loss, ITS visit counts,
+reward-cache hit/miss counters and phase fractions — to
+``events.jsonl`` in the telemetry directory.  ``repro obs summarize``
+renders a run report from that log with :func:`summarize_events` /
+:func:`render_run_report`, so a finished (or crashed) run can be
+inspected without rerunning anything.
+
+Non-interference contract: the writer consumes no RNG, never feeds back
+into training state, and all its timing flows through the injectable obs
+clock — a run with telemetry enabled is bit-identical to one without
+(asserted by ``benchmarks/bench_obs.py``'s parity gate).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Mapping
+
+from repro.analysis import tsan
+from repro.obs.clock import Clock, monotonic
+
+__all__ = [
+    "TelemetryWriter",
+    "read_events",
+    "render_run_report",
+    "summarize_events",
+]
+
+#: Default event-log filename inside a telemetry directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class TelemetryWriter:
+    """Appends structured events to a JSONL file, one object per line.
+
+    Events carry a monotonically increasing ``seq`` and a ``t_s`` offset
+    (seconds since the writer was created, via the injected clock) —
+    deterministic ordering even when the clock is fake.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        run_id: str = "run",
+        clock: Clock = monotonic,
+        filename: str = EVENTS_FILENAME,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / filename
+        self.run_id = run_id
+        self.clock = clock
+        self._lock = tsan.TrackedLock("obs.telemetry")
+        self._sink: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._seq = 0
+        self._epoch = clock()
+
+    def emit(self, event_type: str, **payload: Any) -> None:
+        """Append one event; a no-op after :meth:`close`."""
+        with self._lock:
+            tsan.note(self, "_sink", write=True)
+            sink = self._sink
+            if sink is None:
+                return
+            record: dict[str, Any] = {
+                "type": event_type,
+                "run": self.run_id,
+                "seq": self._seq,
+                "t_s": round(self.clock() - self._epoch, 6),
+            }
+            for key, value in payload.items():
+                if key not in record:
+                    record[key] = value
+            self._seq += 1
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Load an event log; accepts the JSONL file or its directory."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / EVENTS_FILENAME
+    events = []
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate an event stream into a JSON-able run summary."""
+    run: dict[str, Any] = {}
+    episodes: list[Mapping[str, Any]] = []
+    iterations: list[Mapping[str, Any]] = []
+    run_end: Mapping[str, Any] | None = None
+    for event in events:
+        kind = event.get("type")
+        if kind == "run_start":
+            run = {
+                key: event[key]
+                for key in ("run", "seed", "n_tasks", "iterations", "rollout_workers")
+                if key in event
+            }
+        elif kind == "episode":
+            episodes.append(event)
+        elif kind == "iteration":
+            iterations.append(event)
+        elif kind == "run_end":
+            run_end = event
+
+    per_task: dict[int, dict[str, Any]] = {}
+    for event in episodes:
+        task = int(event.get("task", -1))
+        bucket = per_task.setdefault(
+            task, {"episodes": 0, "rewards": [], "steps": 0}
+        )
+        bucket["episodes"] += 1
+        bucket["rewards"].append(float(event.get("reward", 0.0)))
+        bucket["steps"] += int(event.get("steps", 0))
+    tasks = {
+        task: {
+            "episodes": bucket["episodes"],
+            "mean_reward": round(_mean(bucket["rewards"]), 6),
+            "steps": bucket["steps"],
+        }
+        for task, bucket in sorted(per_task.items())
+    }
+
+    losses = [float(e["mean_loss"]) for e in iterations if "mean_loss" in e]
+    epsilons = [float(e["epsilon"]) for e in episodes if "epsilon" in e]
+    summary: dict[str, Any] = {
+        "run": run,
+        "counts": {
+            "events": len(episodes) + len(iterations),
+            "episodes": len(episodes),
+            "iterations": len(iterations),
+        },
+        "tasks": tasks,
+        "loss": {
+            "first": round(losses[0], 6) if losses else None,
+            "last": round(losses[-1], 6) if losses else None,
+            "mean": round(_mean(losses), 6) if losses else None,
+        },
+        "epsilon": {
+            "first": round(epsilons[0], 6) if epsilons else None,
+            "last": round(epsilons[-1], 6) if epsilons else None,
+        },
+    }
+    if iterations:
+        last = iterations[-1]
+        for key in ("cache", "its_visits", "phases"):
+            if key in last:
+                summary[key] = last[key]
+    if run_end is not None:
+        summary["run_end"] = {
+            key: run_end[key]
+            for key in ("iterations", "episodes", "best_score", "t_s")
+            if key in run_end
+        }
+    return summary
+
+
+def render_run_report(summary: Mapping[str, Any]) -> str:
+    """Human-readable run report from :func:`summarize_events` output."""
+    lines: list[str] = []
+    run = summary.get("run") or {}
+    title = run.get("run", "run")
+    lines.append(f"telemetry report: {title}")
+    if run:
+        meta = ", ".join(
+            f"{key}={run[key]}"
+            for key in ("seed", "n_tasks", "iterations", "rollout_workers")
+            if key in run
+        )
+        if meta:
+            lines.append(f"  {meta}")
+    counts = summary.get("counts") or {}
+    lines.append(
+        f"  iterations: {counts.get('iterations', 0)}   "
+        f"episodes: {counts.get('episodes', 0)}"
+    )
+    loss = summary.get("loss") or {}
+    if loss.get("first") is not None:
+        lines.append(
+            f"  loss: first={loss['first']} last={loss['last']} "
+            f"mean={loss['mean']}"
+        )
+    epsilon = summary.get("epsilon") or {}
+    if epsilon.get("first") is not None:
+        lines.append(
+            f"  epsilon: first={epsilon['first']} last={epsilon['last']}"
+        )
+    tasks = summary.get("tasks") or {}
+    if tasks:
+        lines.append("  per-task:")
+        for task, stats in tasks.items():
+            lines.append(
+                f"    task {task}: {stats['episodes']} episodes, "
+                f"mean reward {stats['mean_reward']}, {stats['steps']} steps"
+            )
+    cache = summary.get("cache")
+    if cache:
+        lines.append(
+            f"  reward cache: hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"hit_rate={cache.get('hit_rate', 0.0)}"
+        )
+    visits = summary.get("its_visits")
+    if visits:
+        rendered = ", ".join(f"{k}:{v}" for k, v in sorted(visits.items()))
+        lines.append(f"  ITS visits: {rendered}")
+    phases = summary.get("phases")
+    if phases:
+        rendered = ", ".join(
+            f"{name}={round(float(value), 4)}"
+            for name, value in sorted(phases.items())
+        )
+        lines.append(f"  phase fractions: {rendered}")
+    run_end = summary.get("run_end")
+    if run_end:
+        extras = ", ".join(
+            f"{key}={run_end[key]}"
+            for key in ("iterations", "episodes", "best_score")
+            if key in run_end
+        )
+        lines.append(f"  finished: {extras}")
+    else:
+        lines.append("  finished: no run_end event (crashed or still running)")
+    return "\n".join(lines)

@@ -177,6 +177,16 @@ class RewardFunction:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict[str, int]:
+        """Cache counters for telemetry: hits, misses, merges, occupancy."""
+        with self._lock:
+            return {
+                "hits": int(self.hits),
+                "misses": int(self.misses),
+                "merged": int(self.merged),
+                "entries": len(self._cache),
+            }
+
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()

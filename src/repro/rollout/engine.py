@@ -27,17 +27,19 @@ checkpoints.
 
 from __future__ import annotations
 
-import logging
 import multiprocessing
 import os
 import pickle
-import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 from repro.analysis import tsan
 from repro.core.feat import FEATTrainer
 from repro.errors import RolloutError
+from repro.obs.clock import monotonic
+from repro.obs.log import get_logger
+from repro.obs.profile import PhaseProfiler
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rl.transition import Trajectory
 # Module import (not `from repro.rollout import ...`, which would edge back
 # through the package __init__ into a cycle).  Kept as a module reference so
@@ -51,7 +53,7 @@ __all__ = [
     "resolve_worker_count",
 ]
 
-_LOG = logging.getLogger(__name__)
+_LOG = get_logger("rollout.engine")
 
 ROLLOUT_WORKERS_ENV_VAR = "REPRO_ROLLOUT_WORKERS"
 
@@ -108,6 +110,12 @@ class ParallelRolloutEngine:
         # a restored engine is always a fresh, open one.
         self._closed = False  # repolint: disable=CKPT201
         self._merge_lock = tsan.TrackedLock("rollout.merge")
+        #: Observability hooks, wired by ``PAFeat.fit`` when telemetry is
+        #: on.  ``NULL_TRACER`` / ``None`` keep the hot path at a couple of
+        #: attribute checks per phase — the disabled-cost contract
+        #: ``benchmarks/bench_obs.py`` gates on.
+        self.tracer: Tracer = NULL_TRACER
+        self.profiler: PhaseProfiler | None = None
         self.stats: dict[str, float] = {
             "fills": 0,
             "episodes": 0,
@@ -136,18 +144,37 @@ class ParallelRolloutEngine:
             raise RolloutError("fill() called on a closed rollout engine")
         if n_episodes < 1:
             raise ValueError(f"n_episodes must be >= 1, got {n_episodes}")
-        plan_start = time.monotonic()
-        plans = self._plan(trainer, n_episodes)
-        execute_start = time.monotonic()
-        results = self._execute(trainer, plans)
-        merge_start = time.monotonic()
-        collected = self._merge(trainer, plans, results)
-        merge_end = time.monotonic()
+        with self.tracer.span(
+            "rollout.fill", episodes=n_episodes, workers=self.n_workers
+        ) as fill_span:
+            plan_start = monotonic()
+            plans = self._plan(trainer, n_episodes)
+            execute_start = monotonic()
+            results = self._execute(trainer, plans)
+            merge_start = monotonic()
+            collected = self._merge(trainer, plans, results, fill_span)
+            merge_end = monotonic()
+        plan_s = execute_start - plan_start
+        execute_s = merge_start - execute_start
+        merge_s = merge_end - merge_start
         self.stats["fills"] += 1
         self.stats["episodes"] += len(plans)
-        self.stats["plan_seconds"] += execute_start - plan_start
-        self.stats["execute_seconds"] += merge_start - execute_start
-        self.stats["merge_seconds"] += merge_end - merge_start
+        self.stats["plan_seconds"] += plan_s
+        self.stats["execute_seconds"] += execute_s
+        self.stats["merge_seconds"] += merge_s
+        # The same three readings feed the phase histograms and the stage
+        # spans — one clock cost, every observability surface.
+        if self.profiler is not None:
+            self.profiler.observe("rollout.plan", plan_s)
+            self.profiler.observe("rollout.execute", execute_s)
+            self.profiler.observe("rollout.merge", merge_s)
+        if self.tracer.enabled:
+            self.tracer.emit("rollout.plan", plan_s, parent=fill_span)
+            self.tracer.emit(
+                "rollout.execute", execute_s, parent=fill_span,
+                pooled=self.active,
+            )
+            self.tracer.emit("rollout.merge", merge_s, parent=fill_span)
         return collected
 
     # ------------------------------------------------------------------
@@ -157,6 +184,7 @@ class ParallelRolloutEngine:
         self, trainer: FEATTrainer, n_episodes: int
     ) -> list[EpisodePlan]:
         epsilon_base = trainer.agent.action_count
+        trace = self.tracer.enabled
         plans: list[EpisodePlan] = []
         for _ in range(n_episodes):
             task_id, start, random_policy = trainer.plan_episode()
@@ -167,6 +195,7 @@ class ParallelRolloutEngine:
                     start=start,
                     random_policy=random_policy,
                     epsilon_base=epsilon_base,
+                    trace=trace,
                 )
             )
             self.episodes_planned += 1
@@ -289,13 +318,28 @@ class ParallelRolloutEngine:
         trainer: FEATTrainer,
         plans: list[EpisodePlan],
         results: dict[int, EpisodeResult],
+        fill_span: Any = None,
     ) -> dict[int, list[Trajectory]]:
         collected: dict[int, list[Trajectory]] = {}
         policy_steps = 0
+        trace = self.tracer.enabled
         with self._merge_lock:
             tsan.note(trainer, "registry", write=True)
             for plan in plans:
                 result = results[plan.index]
+                if trace:
+                    # Workers measure, the coordinator records: replaying
+                    # the shipped durations here — inside the plan-order
+                    # loop — merges every worker's episode timings into
+                    # one deterministic trace.
+                    self.tracer.emit(
+                        "rollout.episode",
+                        result.elapsed_s,
+                        parent=fill_span,
+                        episode=plan.index,
+                        task=plan.task_id,
+                        steps=result.steps,
+                    )
                 trainer.commit_episode(
                     plan.task_id, result.trajectory, plan.start
                 )

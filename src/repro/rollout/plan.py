@@ -48,6 +48,11 @@ class EpisodePlan:
     start: EnvState
     random_policy: bool
     epsilon_base: int
+    #: When True the executor wall-times the episode (through the obs
+    #: clock) and reports it in :attr:`EpisodeResult.elapsed_s` so the
+    #: coordinator can merge per-worker timings into one trace in plan
+    #: order.  Purely observational: it never changes the episode.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -76,6 +81,10 @@ class EpisodeResult:
     steps: int
     policy_steps: int
     reward_entries: RewardEntries = field(default=())
+    #: Wall seconds the episode took on its executor (0.0 unless the plan
+    #: requested tracing).  Observational only — the merge barrier feeds
+    #: it to the coordinator's tracer, never into trainer state.
+    elapsed_s: float = 0.0
 
 
 def validate_result(
@@ -162,6 +171,10 @@ def validate_result(
                 f"episode {plan.index}: selected feature {feature} out of "
                 f"range for {n_features} features"
             )
+    if not (np.isfinite(result.elapsed_s) and result.elapsed_s >= 0.0):
+        raise RolloutError(
+            f"episode {plan.index}: invalid elapsed_s {result.elapsed_s!r}"
+        )
     for key, score in result.reward_entries:
         if not all(0 <= int(i) < n_features for i in key):
             raise RolloutError(

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.env import FeatureSelectionEnv
 from repro.errors import WorkerCrashError
+from repro.obs.clock import monotonic
 from repro.rl.agent import DuelingDQNAgent
 from repro.rl.seeding import rollout_shard
 from repro.rl.transition import Trajectory, Transition
@@ -118,6 +119,10 @@ def run_planned_episode(
     # FeatureSelectionEnv (the effect analysis can't see through the
     # Mapping element type).
     env: FeatureSelectionEnv = envs[plan.task_id]
+    # Tracing wall-times the episode through the obs clock; the reading
+    # rides back on the result for the coordinator's trace merge and is
+    # the only observable difference a traced plan makes.
+    started_at = monotonic() if plan.trace else 0.0
     rng = np.random.default_rng(rollout_shard(seed, plan.index))
     state = env.reset_to(plan.start)
     trajectory = Trajectory(task_id=plan.task_id)
@@ -163,6 +168,7 @@ def run_planned_episode(
         steps=len(steps),
         policy_steps=0 if plan.random_policy else len(steps),
         reward_entries=reward_entries,
+        elapsed_s=(monotonic() - started_at) if plan.trace else 0.0,
     )
 
 

@@ -43,14 +43,14 @@ instead of sleeping through real latency budgets.
 from __future__ import annotations
 
 import asyncio
-import logging
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
 from repro.errors import LifecycleError, ServeError
 from repro.io.resilience import Deadline, DeadlineExceeded
+from repro.obs.clock import monotonic
+from repro.obs.log import get_logger
 
 __all__ = [
     "BatcherClosed",
@@ -60,7 +60,7 @@ __all__ = [
     "ServiceUnavailable",
 ]
 
-logger = logging.getLogger(__name__)
+_LOG = get_logger("serve.batcher")
 
 
 class BatcherClosed(ServeError):
@@ -134,7 +134,7 @@ class MicroBatcher:
         max_latency_ms: float = 5.0,
         max_queue_depth: int | None = None,
         watchdog_timeout_ms: float | None = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
         wait_for: Callable[..., Awaitable[Any]] = asyncio.wait_for,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
         metrics: Any = None,
@@ -207,7 +207,7 @@ class MicroBatcher:
             if not worker.cancelled():
                 raise  # the drain itself was cancelled, not the worker
         except Exception:
-            logger.exception("batcher worker died during drain")
+            _LOG.exception("batcher worker died during drain")
         self._worker = None
         if self._watchdog_task is not None:
             self._watchdog_task.cancel()
@@ -334,6 +334,11 @@ class MicroBatcher:
             self._flush(self._inflight)
             self._inflight = []
             self._beat()
+            # Re-observe after the flush drained the queue: the gauge must
+            # fall back down once requests are consumed, not stay pinned at
+            # the last enqueue-time depth.
+            if self._metrics is not None:
+                self._metrics.observe_queue_depth(queue.qsize())
             if shutting_down:
                 return
 
@@ -399,9 +404,9 @@ class MicroBatcher:
             reason = "crashed" if crashed else "stalled"
             if crashed:
                 error = worker.exception() if not worker.cancelled() else None
-                logger.error("batcher worker crashed: %r; restarting", error)
+                _LOG.error("batcher worker crashed: %r; restarting", error)
             else:
-                logger.error(
+                _LOG.error(
                     "batcher worker stalled for > %.3fs with work outstanding; "
                     "restarting",
                     self.watchdog_timeout_s,
@@ -412,7 +417,7 @@ class MicroBatcher:
                 except asyncio.CancelledError:
                     pass
                 except Exception:
-                    logger.exception("stalled batcher worker died on cancel")
+                    _LOG.exception("stalled batcher worker died on cancel")
             failure = BatcherStalled(
                 f"batch flush loop {reason}; request failed by the watchdog"
             )
@@ -437,6 +442,8 @@ class MicroBatcher:
             try:
                 item = self._queue.get_nowait()
             except asyncio.QueueEmpty:
+                if self._metrics is not None:
+                    self._metrics.observe_queue_depth(0)
                 return
             if isinstance(item, _Sentinel):
                 continue

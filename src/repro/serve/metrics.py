@@ -1,11 +1,15 @@
-"""Serving telemetry: latency quantiles, queue depth, batch sizes, cache hits.
+"""Serving telemetry on the unified obs registry (PR 10 refactor).
 
-All state is instance-owned and updated from the server's single event
-loop, so no locking is needed; a multi-worker deployment would give each
-worker its own :class:`ServeMetrics` and aggregate at scrape time (the
-histogram buckets and counters sum cleanly across instances).
+:class:`ServeMetrics` keeps its recording API (``observe_*``) and its
+read surface (``requests_total``, ``batch_sizes``, ``snapshot()``, ...)
+but the numbers now live in a :class:`repro.obs.registry.MetricsRegistry`
+— the label-aware, lock-guarded metric store shared by the whole serve
+stack — so ``/metrics`` serves **one** registry: request/batch/queue
+counters, admission-control and resilience counters, provider-backed
+gauges (circuit-breaker state, representation-cache hit rate) and
+anything else components register (e.g. phase histograms).
 
-Two complementary latency views:
+Two complementary latency views survive the refactor unchanged:
 
 * **cumulative bucket counts** over fixed log-spaced boundaries — cheap,
   mergeable, never lose history;
@@ -13,16 +17,18 @@ Two complementary latency views:
   last ``window`` requests, which is what an operator watching a dashboard
   actually wants (a lifetime-cumulative p99 hides a fresh regression).
 
-:meth:`ServeMetrics.render` emits Prometheus-style text for ``/metrics``;
-:meth:`ServeMetrics.snapshot` returns the same numbers as JSON-able data
-for tests and benchmarks.
+The window view lives in :class:`LatencyHistogram` (instance-owned, event
+-loop-confined as before) and joins the exposition through a registry
+collector, so nothing is copied per observation.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Callable, Mapping
+from typing import Callable, Iterator, Mapping
+
+from repro.obs.registry import Counter, Gauge, MetricsRegistry
 
 #: Upper bounds (milliseconds) of the cumulative latency buckets.
 DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
@@ -96,64 +102,97 @@ class LatencyHistogram:
 
 
 class ServeMetrics:
-    """The selection server's metric registry."""
+    """The selection server's metric surface, backed by one obs registry."""
 
-    def __init__(self) -> None:
-        #: queue-wait + batch-execution time per request.
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: The unified registry ``/metrics`` renders; share one instance
+        #: to co-expose serve metrics with other components' metrics.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: queue-wait + batch-execution time per request (dual-view
+        #: histogram; exposed through a registry collector).
         self.request_latency = LatencyHistogram()
-        #: per-flush batch sizes (distribution of the micro-batcher output).
-        self.batch_sizes: dict[int, int] = {}
-        self.batches_total = 0
-        self.requests_total = 0
-        self.errors_total = 0
-        #: queue depth sampled at each enqueue (peak-ish view of pressure).
-        self.queue_depth = 0
-        self.queue_depth_peak = 0
-        #: requests shed by admission control, keyed by reason
-        #: (``queue_full``, ``rate_limit``).
-        self.shed_total: dict[str, int] = {}
-        #: requests rejected or abandoned because their deadline expired.
-        self.deadline_exceeded_total = 0
-        #: flush-loop restarts performed by the batcher watchdog.
-        self.watchdog_restarts_total = 0
-        #: client connections that vanished mid-request (reset/timeout/EOF).
-        self.dropped_connections_total = 0
-        #: circuit-breaker state transitions (any direction).
-        self.breaker_transitions_total = 0
+        reg = self.registry
+        self._requests: Counter = reg.counter(
+            "repro_serve_requests_total", "Selection requests completed."
+        )
+        self._errors: Counter = reg.counter(
+            "repro_serve_errors_total", "Requests that failed with an error."
+        )
+        self._batches: Counter = reg.counter(
+            "repro_serve_batches_total", "Micro-batcher flushes executed."
+        )
+        self._queue_depth: Gauge = reg.gauge(
+            "repro_serve_queue_depth", "Admission queue depth (last observed)."
+        )
+        self._queue_depth_peak: Gauge = reg.gauge(
+            "repro_serve_queue_depth_peak", "Highest observed queue depth."
+        )
+        self._batch_size: Counter = reg.counter(
+            "repro_serve_batch_size_total",
+            "Flushes by batch size.",
+            labelnames=("size",),
+        )
+        self._shed: Counter = reg.counter(
+            "repro_serve_shed_total",
+            "Requests shed by admission control, by reason.",
+            labelnames=("reason",),
+        )
+        # Materialise the standard shed reasons at 0 so operators see the
+        # series before the first shed (and dashboards need no fallback).
+        self._shed.touch(reason="queue_full")
+        self._shed.touch(reason="rate_limit")
+        self._deadline: Counter = reg.counter(
+            "repro_serve_deadline_exceeded_total",
+            "Requests rejected or abandoned on an expired deadline.",
+        )
+        self._watchdog: Counter = reg.counter(
+            "repro_serve_watchdog_restarts_total",
+            "Flush-loop restarts performed by the batcher watchdog.",
+        )
+        self._dropped: Counter = reg.counter(
+            "repro_serve_dropped_connections_total",
+            "Client connections that vanished mid-request.",
+        )
+        self._breaker_transitions: Counter = reg.counter(
+            "repro_serve_breaker_transitions_total",
+            "Circuit-breaker state transitions (any direction).",
+        )
         self._cache_stats: Callable[[], Mapping[str, int]] | None = None
         self._breaker_state: Callable[[], str] | None = None
+        reg.register_collector(self._latency_lines)
+        reg.register_collector(self._provider_lines)
 
     # -- recording ------------------------------------------------------
     def observe_request(self, latency_ms: float) -> None:
-        self.requests_total += 1
+        self._requests.inc()
         self.request_latency.observe(latency_ms)
 
     def observe_error(self) -> None:
-        self.errors_total += 1
+        self._errors.inc()
 
     def observe_shed(self, reason: str = "queue_full") -> None:
-        self.shed_total[reason] = self.shed_total.get(reason, 0) + 1
+        self._shed.inc(reason=reason)
 
     def observe_deadline_exceeded(self) -> None:
-        self.deadline_exceeded_total += 1
+        self._deadline.inc()
 
     def observe_watchdog_restart(self) -> None:
-        self.watchdog_restarts_total += 1
+        self._watchdog.inc()
 
     def observe_dropped_connection(self) -> None:
-        self.dropped_connections_total += 1
+        self._dropped.inc()
 
     def observe_breaker_transition(self, old_state: str, new_state: str) -> None:
         del old_state, new_state  # the transition count is state-agnostic
-        self.breaker_transitions_total += 1
+        self._breaker_transitions.inc()
 
     def observe_batch(self, size: int) -> None:
-        self.batches_total += 1
-        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self._batches.inc()
+        self._batch_size.inc(size=int(size))
 
     def observe_queue_depth(self, depth: int) -> None:
-        self.queue_depth = depth
-        self.queue_depth_peak = max(self.queue_depth_peak, depth)
+        self._queue_depth.set(depth)
+        self._queue_depth_peak.set_max(depth)
 
     def set_cache_stats_provider(
         self, provider: Callable[[], Mapping[str, int]]
@@ -165,7 +204,59 @@ class ServeMetrics:
         """Hook the reload circuit breaker's state in lazily."""
         self._breaker_state = provider
 
-    # -- reading --------------------------------------------------------
+    # -- reading (backward-compatible attribute surface) ----------------
+    @property
+    def requests_total(self) -> int:
+        return int(self._requests.value())
+
+    @property
+    def errors_total(self) -> int:
+        return int(self._errors.value())
+
+    @property
+    def batches_total(self) -> int:
+        return int(self._batches.value())
+
+    @property
+    def batch_sizes(self) -> dict[int, int]:
+        """Per-flush batch-size distribution as ``{size: count}``."""
+        return {
+            int(key[0]): int(count)
+            for key, count in sorted(self._batch_size.series().items())
+        }
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._queue_depth.value())
+
+    @property
+    def queue_depth_peak(self) -> int:
+        return int(self._queue_depth_peak.value())
+
+    @property
+    def shed_total(self) -> dict[str, int]:
+        """Shed requests by reason (standard reasons present at 0)."""
+        return {
+            key[0]: int(count)
+            for key, count in sorted(self._shed.series().items())
+        }
+
+    @property
+    def deadline_exceeded_total(self) -> int:
+        return int(self._deadline.value())
+
+    @property
+    def watchdog_restarts_total(self) -> int:
+        return int(self._watchdog.value())
+
+    @property
+    def dropped_connections_total(self) -> int:
+        return int(self._dropped.value())
+
+    @property
+    def breaker_transitions_total(self) -> int:
+        return int(self._breaker_transitions.value())
+
     def cache_hit_rate(self) -> float | None:
         """Representation-cache hit rate in [0, 1], or None when unwired."""
         if self._cache_stats is None:
@@ -181,10 +272,10 @@ class ServeMetrics:
             "requests_total": self.requests_total,
             "errors_total": self.errors_total,
             "batches_total": self.batches_total,
-            "batch_sizes": dict(sorted(self.batch_sizes.items())),
+            "batch_sizes": self.batch_sizes,
             "queue_depth": self.queue_depth,
             "queue_depth_peak": self.queue_depth_peak,
-            "shed_total": dict(sorted(self.shed_total.items())),
+            "shed_total": self.shed_total,
             "deadline_exceeded_total": self.deadline_exceeded_total,
             "watchdog_restarts_total": self.watchdog_restarts_total,
             "dropped_connections_total": self.dropped_connections_total,
@@ -201,59 +292,41 @@ class ServeMetrics:
         return data
 
     def render(self) -> str:
-        """Prometheus-style exposition text for ``/metrics``."""
+        """Prometheus exposition for ``/metrics`` — the whole registry."""
+        return self.registry.render()
+
+    # -- registry collectors (scrape-time views) ------------------------
+    def _latency_lines(self) -> Iterator[str]:
+        """The dual-view latency histogram: window quantiles + cumulative
+        buckets, rendered at scrape time from the instance-owned state."""
         latency = self.request_latency
-        lines = [
-            "# TYPE repro_serve_requests_total counter",
-            f"repro_serve_requests_total {self.requests_total}",
-            "# TYPE repro_serve_errors_total counter",
-            f"repro_serve_errors_total {self.errors_total}",
-            "# TYPE repro_serve_batches_total counter",
-            f"repro_serve_batches_total {self.batches_total}",
-            "# TYPE repro_serve_queue_depth gauge",
-            f"repro_serve_queue_depth {self.queue_depth}",
-            "# TYPE repro_serve_queue_depth_peak gauge",
-            f"repro_serve_queue_depth_peak {self.queue_depth_peak}",
-            "# TYPE repro_serve_latency_ms summary",
-            f'repro_serve_latency_ms{{quantile="0.5"}} {latency.percentile(0.5):.6f}',
-            f'repro_serve_latency_ms{{quantile="0.99"}} {latency.percentile(0.99):.6f}',
-            f"repro_serve_latency_ms_sum {latency.sum_ms:.6f}",
-            f"repro_serve_latency_ms_count {latency.total}",
-            "# TYPE repro_serve_latency_ms_bucket counter",
-        ]
+        yield "# TYPE repro_serve_latency_ms summary"
+        yield (
+            f'repro_serve_latency_ms{{quantile="0.5"}} '
+            f"{latency.percentile(0.5):.6f}"
+        )
+        yield (
+            f'repro_serve_latency_ms{{quantile="0.99"}} '
+            f"{latency.percentile(0.99):.6f}"
+        )
+        yield f"repro_serve_latency_ms_sum {latency.sum_ms:.6f}"
+        yield f"repro_serve_latency_ms_count {latency.total}"
+        yield "# TYPE repro_serve_latency_ms_bucket counter"
         cumulative = 0
         for bound, count in zip(latency.buckets_ms, latency.counts):
             cumulative += count
             label = "+Inf" if math.isinf(bound) else f"{bound:g}"
-            lines.append(f'repro_serve_latency_ms_bucket{{le="{label}"}} {cumulative}')
-        lines.append("# TYPE repro_serve_batch_size_total counter")
-        for size, count in sorted(self.batch_sizes.items()):
-            lines.append(f'repro_serve_batch_size_total{{size="{size}"}} {count}')
-        lines.append("# TYPE repro_serve_shed_total counter")
-        for reason in ("queue_full", "rate_limit"):
-            count = self.shed_total.get(reason, 0)
-            lines.append(f'repro_serve_shed_total{{reason="{reason}"}} {count}')
-        for reason, count in sorted(self.shed_total.items()):
-            if reason not in ("queue_full", "rate_limit"):
-                lines.append(f'repro_serve_shed_total{{reason="{reason}"}} {count}')
-        lines.extend([
-            "# TYPE repro_serve_deadline_exceeded_total counter",
-            f"repro_serve_deadline_exceeded_total {self.deadline_exceeded_total}",
-            "# TYPE repro_serve_watchdog_restarts_total counter",
-            f"repro_serve_watchdog_restarts_total {self.watchdog_restarts_total}",
-            "# TYPE repro_serve_dropped_connections_total counter",
-            f"repro_serve_dropped_connections_total {self.dropped_connections_total}",
-            "# TYPE repro_serve_breaker_transitions_total counter",
-            f"repro_serve_breaker_transitions_total {self.breaker_transitions_total}",
-        ])
+            yield f'repro_serve_latency_ms_bucket{{le="{label}"}} {cumulative}'
+
+    def _provider_lines(self) -> Iterator[str]:
+        """Provider-backed gauges: breaker state and cache hit rate."""
         if self._breaker_state is not None:
             state = self._breaker_state()
             value = BREAKER_STATE_VALUES.get(state, -1)
-            lines.append("# HELP repro_serve_breaker_state 0=closed 1=half_open 2=open")
-            lines.append("# TYPE repro_serve_breaker_state gauge")
-            lines.append(f"repro_serve_breaker_state {value}")
+            yield "# HELP repro_serve_breaker_state 0=closed 1=half_open 2=open"
+            yield "# TYPE repro_serve_breaker_state gauge"
+            yield f"repro_serve_breaker_state {value}"
         hit_rate = self.cache_hit_rate()
         if hit_rate is not None:
-            lines.append("# TYPE repro_serve_cache_hit_rate gauge")
-            lines.append(f"repro_serve_cache_hit_rate {hit_rate:.6f}")
-        return "\n".join(lines) + "\n"
+            yield "# TYPE repro_serve_cache_hit_rate gauge"
+            yield f"repro_serve_cache_hit_rate {hit_rate:.6f}"

@@ -51,7 +51,6 @@ recompute; hits and misses feed the ``/metrics`` cache-hit-rate gauge.
 from __future__ import annotations
 
 import hashlib
-import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -63,11 +62,12 @@ from repro.analysis import tsan
 from repro.analysis.tsan import TrackedLock
 from repro.data.stats import pearson_representation
 from repro.errors import ServeError
+from repro.obs.log import get_logger
 
 if TYPE_CHECKING:
     from repro.core.pafeat import PAFeat
 
-logger = logging.getLogger(__name__)
+_LOG = get_logger("serve.registry")
 
 #: Cap on the retained skip records (oldest evicted first).
 MAX_SKIP_HISTORY = 50
@@ -194,7 +194,7 @@ class ModelRegistry:
         try:
             model = load_model(path)
         except (ValueError, OSError, KeyError) as exc:
-            logger.warning("skipping model version %s: %s", path, exc)
+            _LOG.warning("skipping model version %s: %s", path, exc)
             with self._swap_lock:
                 tsan.note(self, "_skips", write=True)
                 tsan.note(self, "_skips_total", write=True)

@@ -57,9 +57,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-import logging
 import math
-import time
 from typing import Any, Callable, NamedTuple
 
 import numpy as np
@@ -84,10 +82,12 @@ from repro.serve.batcher import (
 from repro.serve.engine import BatchedGreedyEngine
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ModelRegistry, ModelVersion, RegistryError
+from repro.obs.clock import monotonic
+from repro.obs.log import get_logger
 
 __all__ = ["SelectionServer"]
 
-logger = logging.getLogger(__name__)
+_LOG = get_logger("serve.server")
 
 _MAX_BODY_BYTES = 8 << 20  # a request is one task's data; 8 MiB is generous
 _STATUS_TEXT = {
@@ -152,7 +152,7 @@ class SelectionServer:
         watchdog_timeout_ms: float | None = 5000.0,
         load_retries: int = 3,
         metrics: ServeMetrics | None = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -203,7 +203,7 @@ class SelectionServer:
         self.metrics.set_breaker_state_provider(lambda: self._reload_breaker.state)
 
     def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
-        log = logger.warning if new_state != BREAKER_CLOSED else logger.info
+        log = _LOG.warning if new_state != BREAKER_CLOSED else _LOG.info
         log("model-reload circuit breaker: %s -> %s", old_state, new_state)
         self.metrics.observe_breaker_transition(old_state, new_state)
 
@@ -225,7 +225,7 @@ class SelectionServer:
                 max_delay_s=1.0,
                 seed=0,
                 retry_on=(RegistryError, OSError, ValueError, KeyError),
-                on_retry=lambda attempt, exc, delay: logger.warning(
+                on_retry=lambda attempt, exc, delay: _LOG.warning(
                     "model load attempt %d failed (%s); retrying in %.2fs",
                     attempt, exc, delay,
                 ),
@@ -347,11 +347,11 @@ class SelectionServer:
             response = _json_response(400, {"error": str(exc)})
         except _DROPPED_CONNECTION_ERRORS:
             self.metrics.observe_dropped_connection()
-            logger.debug("client connection dropped mid-request", exc_info=True)
+            _LOG.debug("client connection dropped mid-request", exc_info=True)
             writer.close()
             return
         except Exception as exc:  # never kill the accept loop on one request
-            logger.exception("unhandled error while serving a request")
+            _LOG.exception("unhandled error while serving a request")
             self.metrics.observe_error()
             response = _json_response(500, {"error": str(exc)})
         status, content_type, body, extra_headers = response
@@ -370,7 +370,7 @@ class SelectionServer:
             await asyncio.wait_for(writer.drain(), self.io_timeout_s)
         except _DROPPED_CONNECTION_ERRORS:
             self.metrics.observe_dropped_connection()
-            logger.debug("client connection dropped mid-response", exc_info=True)
+            _LOG.debug("client connection dropped mid-response", exc_info=True)
         finally:
             writer.close()
 
@@ -464,7 +464,7 @@ class SelectionServer:
         try:
             swapped = await loop.run_in_executor(None, self.registry.refresh)
         except Exception as exc:
-            logger.exception("model reload failed")
+            _LOG.exception("model reload failed")
             self._reload_breaker.record_failure()
             self.metrics.observe_error()
             return _json_response(

@@ -125,3 +125,65 @@ class TestServe:
         code = main(["serve", "--checkpoint-dir", str(tmp_path)])
         assert code == 1
         assert "no model versions" in capsys.readouterr().err
+
+
+class TestObs:
+    def test_train_telemetry_then_summarize(self, tmp_path, capsys):
+        telemetry_dir = tmp_path / "telemetry"
+        code = main([
+            "train", "--dataset", "water-quality", "--scale", "smoke",
+            "--iterations", "3", "--output", str(tmp_path / "model"),
+            "--telemetry-dir", str(telemetry_dir),
+        ])
+        assert code == 0
+        assert "repro obs summarize" in capsys.readouterr().out
+        assert (telemetry_dir / "events.jsonl").exists()
+        assert (telemetry_dir / "trace.jsonl").exists()
+
+        code = main(["obs", "summarize", str(telemetry_dir)])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "telemetry report:" in report
+        assert "iterations: 3" in report
+        assert "finished:" in report
+        assert "no run_end event" not in report
+
+    def test_summarize_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.telemetry import TelemetryWriter
+
+        with TelemetryWriter(tmp_path) as writer:
+            writer.emit("run_start", seed=1, n_tasks=2, iterations=1)
+            writer.emit("episode", task=0, reward=0.5, steps=2, epsilon=0.9)
+        code = main(["obs", "summarize", str(tmp_path), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["counts"]["episodes"] == 1
+        # No run_end: summarize flags the run as unfinished.
+        assert "run_end" not in summary
+
+    def test_summarize_missing_directory_is_one_line_error(self, tmp_path, capsys):
+        code = main(["obs", "summarize", str(tmp_path / "nope")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_summarize_tolerates_early_pipe_close(self, tmp_path, monkeypatch):
+        # `repro obs summarize … | head` closes stdout mid-report; that must
+        # not surface as a BrokenPipeError traceback.  Reproduce with a real
+        # pipe whose read end is already gone: the first line-buffered write
+        # raises BrokenPipeError inside the command.
+        import os
+        import sys
+
+        from repro.obs.telemetry import TelemetryWriter
+
+        with TelemetryWriter(tmp_path) as writer:
+            writer.emit("run_start", seed=1, n_tasks=1, iterations=1)
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)
+        stream = os.fdopen(write_fd, "w", buffering=1)
+        monkeypatch.setattr(sys, "stdout", stream)
+        assert main(["obs", "summarize", str(tmp_path)]) == 0

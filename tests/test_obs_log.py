@@ -1,0 +1,77 @@
+"""Structured logger: stdlib interop, bound run ids, JSON formatting."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.log import JsonFormatter, configure_json, get_logger
+
+
+class TestStructuredLogger:
+    def test_logs_through_stdlib_with_context(self, caplog):
+        logger = get_logger("serve.test")
+        with caplog.at_level(logging.WARNING, logger="repro.serve.test"):
+            logger.warning("retry %d failed", 3, reason="timeout")
+        (record,) = caplog.records
+        assert record.name == "repro.serve.test"
+        assert record.getMessage() == "retry 3 failed"
+        assert record.component == "serve.test"
+        assert record.fields == {"reason": "timeout"}
+
+    def test_bind_stamps_run_id(self, caplog):
+        logger = get_logger("rollout.test").bind("run-42")
+        with caplog.at_level(logging.INFO, logger="repro.rollout.test"):
+            logger.info("starting")
+        (record,) = caplog.records
+        assert record.run_id == "run-42"
+
+    def test_disabled_level_pays_no_formatting(self, caplog):
+        logger = get_logger("quiet.test")
+        with caplog.at_level(logging.ERROR, logger="repro.quiet.test"):
+            logger.debug("never seen %s", object())
+        assert caplog.records == []
+
+    def test_exception_carries_exc_info(self, caplog):
+        logger = get_logger("errors.test")
+        with caplog.at_level(logging.ERROR, logger="repro.errors.test"):
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                logger.exception("it broke", stage="merge")
+        (record,) = caplog.records
+        assert record.exc_info is not None
+        assert record.exc_info[0] is ValueError
+        assert record.fields == {"stage": "merge"}
+
+
+class TestJsonOutput:
+    def test_formatter_emits_one_json_object(self):
+        record = logging.LogRecord(
+            "repro.serve", logging.WARNING, __file__, 1, "queue at %d", (9,), None
+        )
+        record.component = "serve"
+        record.run_id = "r1"
+        record.fields = {"depth": 9}
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload == {
+            "level": "WARNING",
+            "logger": "repro.serve",
+            "message": "queue at 9",
+            "component": "serve",
+            "run_id": "r1",
+            "fields": {"depth": 9},
+        }
+
+    def test_configure_json_round_trip(self):
+        stream = io.StringIO()
+        handler = configure_json(stream, level=logging.INFO)
+        try:
+            get_logger("json.test").info("hello", n=1)
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        payload = json.loads(stream.getvalue())
+        assert payload["message"] == "hello"
+        assert payload["component"] == "json.test"
+        assert payload["fields"] == {"n": 1}

@@ -400,8 +400,18 @@ class TestCollectEpisodesDeprecation:
     def test_alias_warns_and_delegates(self, parallel_reference):
         model, _ = parallel_reference
         trainer = model.trainer
-        with pytest.warns(DeprecationWarning, match="buffer_filling"):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             collected = trainer.collect_episodes(1)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # Exactly one warning per call site: the alias warns, the
+        # buffer_filling it delegates to must not warn again.
+        assert len(deprecations) == 1
+        assert "buffer_filling" in str(deprecations[0].message)
+        # stacklevel=2 attributes the warning to the caller, not feat.py.
+        assert deprecations[0].filename == __file__
         assert sum(len(t) for t in collected.values()) == 1
 
     def test_buffer_filling_does_not_warn(self, parallel_reference):

@@ -464,3 +464,25 @@ class TestMetricsWiring:
         assert metrics.batch_sizes == {2: 2}
         assert metrics.queue_depth_peak >= 1
         assert metrics.request_latency.total == 4
+
+    def test_queue_depth_gauge_falls_back_after_flush(self):
+        """Regression: the depth gauge was only observed on enqueue, so it
+        stayed pinned at the enqueue-time depth forever after the worker
+        drained the queue.  It must read 0 once the backlog is consumed."""
+        metrics = ServeMetrics()
+        handler = RecordingHandler()
+        batcher, _ = make_batcher(handler, max_batch_size=2, metrics=metrics)
+
+        async def scenario():
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            # the queue is empty now, but before the fix the gauge still
+            # reported the last enqueue-time depth (>= 1)
+            depth_after_flush = metrics.queue_depth
+            await batcher.drain()
+            return depth_after_flush
+
+        depth_after_flush = asyncio.run(scenario())
+        assert depth_after_flush == 0
+        assert metrics.queue_depth == 0
+        assert metrics.queue_depth_peak >= 1

@@ -40,6 +40,23 @@ class TestLatencyHistogram:
 
     def test_empty_histogram_percentile_is_zero(self):
         assert LatencyHistogram().percentile(0.99) == 0.0
+        assert LatencyHistogram().percentile(0.0) == 0.0
+
+    def test_single_sample_serves_every_quantile(self):
+        histogram = LatencyHistogram()
+        histogram.observe(7.5)
+        assert histogram.percentile(0.5) == 7.5
+        assert histogram.percentile(0.99) == 7.5
+        assert histogram.percentile(0.0) == 7.5
+        assert histogram.percentile(1.0) == 7.5
+
+    def test_overflow_lands_in_inf_bucket(self):
+        histogram = LatencyHistogram(buckets_ms=(1.0, 10.0, math.inf))
+        histogram.observe(1e6)  # way past the largest finite bucket
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"]["+Inf"] == 1
+        assert snapshot["buckets"]["10"] == 0
+        assert histogram.percentile(0.99) == 1e6
 
     def test_validation(self):
         with pytest.raises(ValueError, match="ascending"):
@@ -92,3 +109,39 @@ class TestServeMetrics:
         # Buckets are rendered cumulatively: the 2 ms bucket holds both.
         assert 'repro_serve_latency_ms_bucket{le="2"} 1' in text
         assert text.endswith("\n")
+
+    def test_untouched_metrics_render_zero_samples(self):
+        text = ServeMetrics().render()
+        assert "repro_serve_requests_total 0" in text
+        assert "repro_serve_breaker_transitions_total 0" in text
+        # Shed reasons are pre-materialised so dashboards see them at 0.
+        assert 'repro_serve_shed_total{reason="queue_full"} 0' in text
+        assert 'repro_serve_shed_total{reason="rate_limit"} 0' in text
+
+    def test_empty_latency_quantiles_render_as_zero(self):
+        text = ServeMetrics().render()
+        assert 'repro_serve_latency_ms{quantile="0.5"} 0.000000' in text
+        assert 'repro_serve_latency_ms{quantile="0.99"} 0.000000' in text
+        assert "repro_serve_latency_ms_count 0" in text
+
+    def test_shed_label_values_are_escaped(self):
+        metrics = ServeMetrics()
+        metrics.observe_shed(reason='weird"reason\nwith newline')
+        text = metrics.render()
+        assert (
+            'repro_serve_shed_total{reason="weird\\"reason\\nwith newline"} 1'
+            in text
+        )
+
+    def test_shares_an_external_registry(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_custom_total", "Something else.").inc(4)
+        metrics = ServeMetrics(registry=registry)
+        metrics.observe_request(1.0)
+        text = metrics.render()
+        # One unified page: serve metrics and foreign metrics together.
+        assert "repro_custom_total 4" in text
+        assert "repro_serve_requests_total 1" in text
+        assert metrics.registry is registry

@@ -58,6 +58,14 @@ class RepolintConfig:
     #: Root of the sanctioned error taxonomy (EXC1004 hints, certificate
     #: adoption stats), e.g. ``repro.errors.ReproError``.
     exception_taxonomy_root: str = ""
+    #: Modules where bare ``print(...)`` is sanctioned (OBS1101): the CLI
+    #: boundary, plus async-signal-safe paths that must not touch logging.
+    obs_allow_print: frozenset[str] = frozenset()
+    #: Packages whose direct monotonic-clock reads (``time.monotonic`` and
+    #: family) must instead go through the obs clock boundary (OBS1102).
+    clock_packages: tuple[str, ...] = ()
+    #: The one module sanctioned to read the process clock directly.
+    clock_boundary: str = ""
 
     @property
     def top_rank(self) -> int:
@@ -85,6 +93,7 @@ class RepolintConfig:
         resilience = data.get("resilience", {})
         concurrency = data.get("concurrency", {})
         exceptions = data.get("exceptions", {})
+        obs = data.get("obs", {})
         return cls(
             package=str(data.get("package", "repro")),
             src_root=str(data.get("src-root", "src")),
@@ -125,6 +134,11 @@ class RepolintConfig:
                 str(n) for n in exceptions.get("log-functions", [])
             ),
             exception_taxonomy_root=str(exceptions.get("taxonomy-root", "")),
+            obs_allow_print=frozenset(
+                str(n) for n in obs.get("allow-print", [])
+            ),
+            clock_packages=tuple(str(n) for n in obs.get("clock-packages", [])),
+            clock_boundary=str(obs.get("clock-boundary", "")),
         )
 
 

@@ -27,6 +27,7 @@ from tools.repolint.rules.exceptions import (
 from tools.repolint.rules.hotpath import HotPathAllocationRule
 from tools.repolint.rules.lint import UnusedSuppressionRule
 from tools.repolint.rules.numeric import UnguardedExpLogRule, UnguardedSumDivisionRule
+from tools.repolint.rules.obs import BarePrintRule, DirectClockRule
 from tools.repolint.rules.parallel import (
     ModuleStateMutationRule,
     RolloutSharedStateRule,
@@ -66,6 +67,8 @@ RULE_CLASSES: list[type[Rule]] = [
     DeadHandlerRule,
     UntypedRaiseRule,
     ContextLossRule,
+    BarePrintRule,
+    DirectClockRule,
     UnusedSuppressionRule,
 ]
 
@@ -88,11 +91,13 @@ def rule_catalog() -> list[tuple[str, str, str]]:
 __all__ = [
     "AllDriftRule",
     "AwaitUnderLockRule",
+    "BarePrintRule",
     "BlockingInLoopRule",
     "BoundaryEscapeRule",
     "CheckpointCompletenessRule",
     "ContextLossRule",
     "DeadHandlerRule",
+    "DirectClockRule",
     "GlobalNumpyRandomRule",
     "HotPathAllocationRule",
     "ImportCycleRule",
